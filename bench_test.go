@@ -1,0 +1,387 @@
+// Benchmarks regenerating each of the paper's tables and figures at reduced
+// scale (one bench per evaluation element; cmd/figures runs them full size),
+// plus micro-benchmarks of the substrates. Run:
+//
+//	go test -bench=. -benchmem
+package quanterference_test
+
+import (
+	"strings"
+	"testing"
+
+	quant "quanterference"
+	"quanterference/internal/bb"
+	"quanterference/internal/dataset"
+	"quanterference/internal/disk"
+	"quanterference/internal/experiments"
+	"quanterference/internal/label"
+	"quanterference/internal/lustre"
+	"quanterference/internal/ml"
+	"quanterference/internal/netsim"
+	"quanterference/internal/sim"
+	"quanterference/internal/trace"
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/io500"
+)
+
+// benchScale keeps each iteration around a second.
+const benchScale = experiments.Scale(0.15)
+
+// BenchmarkTableI regenerates the IO500 slowdown matrix (Table I).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableI(experiments.TableIConfig{
+			Scale: benchScale, Instances: 2, RanksPerInstance: 3, TargetRanks: 2,
+		})
+		if len(r.Tasks) != 7 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+// BenchmarkFigure1a regenerates the Enzo interference-level series.
+func BenchmarkFigure1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1a(experiments.Figure1Config{Scale: benchScale, Cycles: 3})
+		if len(r.Labels) != 4 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkFigure1b regenerates the Enzo interference-type series.
+func BenchmarkFigure1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1b(experiments.Figure1Config{Scale: benchScale, Cycles: 3})
+		if len(r.Labels) != 3 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the server-side metric capture.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableII(benchScale)
+		if len(r.Values) != 7 {
+			b.Fatal("bad metrics")
+		}
+	}
+}
+
+func benchDatasetCfg() experiments.DatasetConfig {
+	return experiments.DatasetConfig{Scale: benchScale, Seed: 42, Reps: 1}
+}
+
+// BenchmarkFigure3aIO500 collects the IO500 dataset and trains the binary
+// model (Figure 3a).
+func BenchmarkFigure3aIO500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := experiments.Figure3a(benchDatasetCfg(), 20)
+		if ev.Confusion.Total() == 0 {
+			b.Fatal("empty eval")
+		}
+	}
+}
+
+// BenchmarkFigure3bDLIO collects the DLIO dataset and trains the binary
+// model (Figure 3b).
+func BenchmarkFigure3bDLIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ev := experiments.Figure3b(benchDatasetCfg(), 20)
+		if ev.Confusion.Total() == 0 {
+			b.Fatal("empty eval")
+		}
+	}
+}
+
+// BenchmarkFigure4MultiClass trains the 3-class model (Figure 4).
+func BenchmarkFigure4MultiClass(b *testing.B) {
+	cfg := benchDatasetCfg()
+	ds := experiments.IO500Dataset(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := experiments.Figure4From(ds, cfg, 20)
+		if len(ev.ClassNames) != 3 {
+			b.Fatal("bad classes")
+		}
+	}
+}
+
+// BenchmarkFigure5Apps trains the per-application models (Figure 5).
+func BenchmarkFigure5Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		evs := experiments.Figure5(benchDatasetCfg(), 20)
+		if len(evs) != 3 {
+			b.Fatal("bad panels")
+		}
+	}
+}
+
+// BenchmarkAblationArchitecture compares kernel vs flat models.
+func BenchmarkAblationArchitecture(b *testing.B) {
+	cfg := benchDatasetCfg()
+	ds := experiments.IO500Dataset(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationArchitecture(ds, cfg, 15)
+		if len(r.Evals) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationFeatures compares feature groups.
+func BenchmarkAblationFeatures(b *testing.B) {
+	cfg := benchDatasetCfg()
+	ds := experiments.IO500Dataset(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationFeatures(ds, cfg, 15)
+		if len(r.Evals) != 3 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationWindow sweeps the aggregation window size.
+func BenchmarkAblationWindow(b *testing.B) {
+	cfg := benchDatasetCfg()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationWindow(cfg, 10, []sim.Time{sim.Second, 2 * sim.Second})
+		if len(r.Evals) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimEngine measures raw event throughput.
+func BenchmarkSimEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(1, fn)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(1, fn)
+	eng.Run()
+}
+
+// BenchmarkDiskService measures device-model service-time computation.
+func BenchmarkDiskService(b *testing.B) {
+	eng := sim.NewEngine()
+	d := disk.New(eng, disk.Config{Seed: 1})
+	rng := sim.NewRNG(2)
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		d.Submit(&disk.Request{
+			Op: disk.Read, Sector: rng.Int63n(1 << 30), Sectors: 64,
+			Done: func() { done++ },
+		})
+		eng.Run()
+	}
+	if done != b.N {
+		b.Fatal("lost requests")
+	}
+}
+
+// BenchmarkNetTransfer measures fair-share network recomputation with
+// 8 concurrent flows.
+func BenchmarkNetTransfer(b *testing.B) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.Config{})
+	for _, n := range []string{"a", "b", "c", "d", "srv"} {
+		net.AddNode(n, 0)
+	}
+	srcs := []string{"a", "b", "c", "d"}
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		net.Transfer(srcs[i%4], "srv", 1<<20, func() { done++ })
+		if (i+1)%8 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	if done != b.N {
+		b.Fatal("lost transfers")
+	}
+}
+
+// BenchmarkLustreWrite measures the full client->OST write path.
+func BenchmarkLustreWrite(b *testing.B) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.Config{})
+	fs := lustre.New(eng, net, lustre.PaperTopology(), lustre.Config{})
+	c := fs.Client("c0")
+	var h *lustre.Handle
+	c.Create("/bench", 1, func(hh *lustre.Handle) { h = hh })
+	eng.Run()
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		c.Write(h, int64(i%256)<<20, 1<<20, func() { done++ })
+		eng.Run()
+	}
+	if done != b.N {
+		b.Fatal("lost writes")
+	}
+}
+
+// BenchmarkScenarioRun measures one full measurement run.
+func BenchmarkScenarioRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := quant.Run(quant.Scenario{
+			Target: quant.TargetSpec{
+				Gen: io500.New(io500.IorEasyWrite, io500.Params{
+					Dir: "/b", Ranks: 2, EasyFileBytes: 16 << 20}),
+				Nodes: []string{"c0"},
+				Ranks: 2,
+			},
+		})
+		if !res.Finished {
+			b.Fatal("run truncated")
+		}
+	}
+}
+
+// BenchmarkKernelModelTrainStep measures one epoch over 256 samples.
+func BenchmarkKernelModelTrainStep(b *testing.B) {
+	ds := syntheticDataset(256)
+	m := ml.NewKernelModel(ml.KernelConfig{NTargets: 7, NFeat: 34, Classes: 2, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.Train(m, ds, ml.TrainConfig{Epochs: 1, Seed: int64(i)})
+	}
+}
+
+// BenchmarkKernelModelPredict measures single-window inference latency — the
+// runtime cost of the online predictor.
+func BenchmarkKernelModelPredict(b *testing.B) {
+	ds := syntheticDataset(1)
+	m := ml.NewKernelModel(ml.KernelConfig{NTargets: 7, NFeat: 34, Classes: 2, Seed: 1})
+	vecs := ds.Samples[0].Vectors
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(vecs)
+	}
+}
+
+// BenchmarkLabeler measures baseline matching over 10k records.
+func BenchmarkLabeler(b *testing.B) {
+	recs := syntheticRecords(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := label.New(recs, sim.Second, 3)
+		if len(l.Degradations(recs)) == 0 {
+			b.Fatal("no windows")
+		}
+	}
+}
+
+func syntheticDataset(n int) *dataset.Dataset {
+	names := make([]string, 34)
+	for i := range names {
+		names[i] = "f"
+	}
+	ds := dataset.New(names, 7, 2)
+	rng := sim.NewRNG(3)
+	for i := 0; i < n; i++ {
+		vecs := make([][]float64, 7)
+		for t := range vecs {
+			v := make([]float64, 34)
+			for f := range v {
+				v[f] = rng.NormFloat64()
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{Label: i % 2, Degradation: 1, Vectors: vecs})
+	}
+	return ds
+}
+
+func syntheticRecords(n int) []workload.Record {
+	rng := sim.NewRNG(9)
+	recs := make([]workload.Record, n)
+	for i := range recs {
+		start := sim.Time(i) * 3 * sim.Millisecond
+		recs[i] = workload.Record{
+			Rank: i % 4, Seq: i / 4,
+			Op:    workload.Op{Kind: workload.Read, Size: 1 << 20},
+			Start: start,
+			End:   start + sim.Time(rng.Intn(10)+1)*sim.Millisecond,
+		}
+	}
+	return recs
+}
+
+// BenchmarkPhaseStudy regenerates the §II-A multi-phase slowdown study.
+func BenchmarkPhaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PhaseStudy(experiments.PhaseStudyConfig{
+			Scale: benchScale, Instances: 2,
+		})
+		if len(r.Phases) != 7 {
+			b.Fatal("bad phases")
+		}
+	}
+}
+
+// BenchmarkCaseStudyMitigation runs the four-policy mitigation comparison.
+func BenchmarkCaseStudyMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.CaseStudyMitigation(experiments.CaseStudyConfig{
+			Scale: benchScale, Epochs: 10, Seed: int64(i),
+		})
+		if len(r.Modes) != 4 {
+			b.Fatal("bad modes")
+		}
+	}
+}
+
+// BenchmarkBurstBufferWrite measures the burst-buffer absorb path.
+func BenchmarkBurstBufferWrite(b *testing.B) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.Config{})
+	fs := lustre.New(eng, net, lustre.PaperTopology(), lustre.Config{})
+	buf := bb.Attach(eng, fs.Client("c0"), bb.Config{Capacity: 1 << 30})
+	var h *lustre.Handle
+	fs.Client("c0").Create("/bench-bb", 1, func(hh *lustre.Handle) { h = hh })
+	eng.Run()
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		buf.Write(h, int64(i%512)<<20, 1<<20, func() { done++ })
+		eng.Run()
+	}
+	if done != b.N {
+		b.Fatal("lost writes")
+	}
+}
+
+// BenchmarkTraceRoundTrip measures DXT log encode+decode of 1k records.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	recs := syntheticRecords(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf strings.Builder
+		w := trace.NewWriter(&buf)
+		for _, rec := range recs {
+			w.Write(rec)
+		}
+		if w.Flush() != nil {
+			b.Fatal("write failed")
+		}
+		got, err := trace.Read(strings.NewReader(buf.String()))
+		if err != nil || len(got) != 1000 {
+			b.Fatal("read failed")
+		}
+	}
+}

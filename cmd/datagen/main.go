@@ -1,0 +1,66 @@
+// Command datagen runs the §III-D training-data collection pipeline for a
+// chosen target workload family and writes the labelled dataset as JSON for
+// cmd/quanttrain.
+//
+// Usage:
+//
+//	datagen -dataset io500|dlio|enzo|amrex|openpmd [-scale 1.0] [-window 1]
+//	        [-seed 42] -out dataset.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/experiments"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/apps"
+)
+
+var (
+	which  = flag.String("dataset", "io500", "io500, dlio, enzo, amrex, or openpmd")
+	scale  = flag.Float64("scale", 1.0, "workload volume scale")
+	window = flag.Int("window", 1, "aggregation window in seconds")
+	seed   = flag.Int64("seed", 42, "root random seed")
+	out    = flag.String("out", "dataset.json", "output JSON path")
+	csvOut = flag.String("csv", "", "also write a flat CSV view to this path")
+)
+
+func main() {
+	flag.Parse()
+	cfg := experiments.DatasetConfig{
+		Scale:  experiments.Scale(*scale),
+		Window: sim.Time(*window) * sim.Second,
+		Seed:   *seed,
+	}
+	var ds *dataset.Dataset
+	switch *which {
+	case "io500":
+		ds = experiments.IO500Dataset(cfg)
+	case "dlio":
+		ds = experiments.DLIODataset(cfg)
+	default:
+		app, err := apps.ParseApp(*which)
+		if err != nil {
+			fatal(fmt.Errorf("unknown dataset %q (want io500, dlio, enzo, amrex, openpmd)", *which))
+		}
+		ds = experiments.AppDataset(app, cfg)
+	}
+	if err := ds.Save(*out); err != nil {
+		fatal(err)
+	}
+	if *csvOut != "" {
+		if err := ds.SaveCSV(*csvOut); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("dataset %s: %d samples, class balance %v, %d targets x %d features -> %s\n",
+		*which, ds.Len(), ds.ClassCounts(), ds.NTargets, len(ds.FeatureNames), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

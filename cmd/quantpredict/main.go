@@ -1,0 +1,117 @@
+// Command quantpredict loads a framework trained by `quanttrain -save` and
+// either scores a labelled dataset with it (offline batch prediction) or
+// runs a fresh simulated scenario and predicts every live window — the
+// deployment half of the paper's Figure 2.
+//
+// Usage:
+//
+//	quantpredict -framework fw.json -data dataset.json        # batch
+//	quantpredict -framework fw.json -live ior-easy-write \
+//	             -interference ior-easy-read -instances 3     # online
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/lustre"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/registry"
+)
+
+var (
+	fwPath    = flag.String("framework", "framework.json", "framework from quanttrain -save")
+	dataPath  = flag.String("data", "", "batch mode: dataset JSON to score")
+	live      = flag.String("live", "", "online mode: target workload to run and predict")
+	interf    = flag.String("interference", "", "online mode: interference workload")
+	instances = flag.Int("instances", 2, "online mode: interference instances")
+	ranks     = flag.Int("ranks", 4, "online mode: target ranks")
+	duration  = flag.Float64("duration", 20, "online mode: simulated seconds")
+	scale     = flag.Float64("scale", 1.0, "workload volume scale")
+)
+
+func main() {
+	flag.Parse()
+	fw, err := core.LoadFramework(*fwPath)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *dataPath != "":
+		batch(fw)
+	case *live != "":
+		online(fw)
+	default:
+		fatal(fmt.Errorf("pass -data (batch) or -live (online)"))
+	}
+}
+
+// batch scores every sample and, since the dataset carries ground truth,
+// prints the resulting confusion matrix.
+func batch(fw *core.Framework) {
+	ds, err := dataset.Load(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if ds.Classes != fw.Bins.Classes() {
+		ds = ds.Rebin(fw.Bins.Classes(), fw.Bins.Label)
+	}
+	cm := ml.NewConfusion(fw.Bins.Classes())
+	for _, s := range ds.Samples {
+		class, _ := fw.Predict(s.Vectors)
+		cm.Add(s.Label, class)
+	}
+	names := make([]string, fw.Bins.Classes())
+	for c := range names {
+		names[c] = fw.Bins.Name(c)
+	}
+	fmt.Printf("scored %d windows from %s\n\n", ds.Len(), *dataPath)
+	fmt.Print(cm.Render(names))
+}
+
+// online runs a fresh scenario and prints a prediction per window.
+func online(fw *core.Framework) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	gen, err := registry.Resolve(*live, registry.Spec{Dir: "/live", Ranks: *ranks, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	mon := core.AttachLive(cl, sim.Second, func(idx int, mat window.Matrix) {
+		class, probs := fw.Predict(mat)
+		fmt.Printf("t=%3ds  %-6s p=%.2f\n", idx+1, fw.Bins.Name(class), probs[class])
+	})
+	target := &workload.Runner{
+		FS: cl.FS, Name: *live, Nodes: []string{"c0", "c1"}, Ranks: *ranks,
+		Gen: gen, Loop: true, OnRecord: mon.Record,
+	}
+	target.Start()
+	if *interf != "" {
+		for i := 0; i < *instances; i++ {
+			igen, err := registry.Resolve(*interf, registry.Spec{
+				Dir: fmt.Sprintf("/bg%d", i), Ranks: 6, Scale: *scale,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			bg := &workload.Runner{
+				FS: cl.FS, Name: fmt.Sprintf("bg%d", i),
+				Nodes: []string{"c2", "c3", "c4", "c5", "c6"}, Ranks: 6,
+				Gen: igen, Loop: true,
+			}
+			bg.Start()
+		}
+	}
+	cl.Eng.RunUntil(sim.Seconds(*duration))
+	mon.Stop()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quantpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// Command report bundles the outputs of cmd/figures into one self-contained
+// HTML page with every table, figure, and SVG inline.
+//
+// Usage:
+//
+//	report [-in out] [-o report.html]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quanterference/internal/report"
+)
+
+var (
+	inDir   = flag.String("in", "out", "directory with cmd/figures outputs")
+	outPath = flag.String("o", "report.html", "output HTML file")
+)
+
+func main() {
+	flag.Parse()
+	html, err := report.Build(*inDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, []byte(html), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *outPath, len(html))
+}

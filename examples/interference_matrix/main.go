@@ -1,0 +1,76 @@
+// Interference matrix: measure how a custom set of workloads slow each
+// other down, Table I style — every workload run standalone and against
+// every other as looping background noise.
+package main
+
+import (
+	"fmt"
+
+	quant "quanterference"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/apps"
+	"quanterference/internal/workload/dlio"
+	"quanterference/internal/workload/io500"
+)
+
+// entry is one workload in the matrix.
+type entry struct {
+	name string
+	gen  func(dir string) workload.Generator
+}
+
+func main() {
+	table := []entry{
+		{"checkpoint (enzo)", func(dir string) workload.Generator {
+			return apps.New(apps.Enzo, apps.Params{Dir: dir, Ranks: 2, Cycles: 4})
+		}},
+		{"training (unet3d)", func(dir string) workload.Generator {
+			return dlio.New(dlio.Unet3D, dlio.Params{Dir: dir, Ranks: 2, Samples: 16, Epochs: 1})
+		}},
+		{"scratch writes (ior)", func(dir string) workload.Generator {
+			return io500.New(io500.IorEasyWrite, io500.Params{Dir: dir, Ranks: 2, EasyFileBytes: 32 << 20})
+		}},
+		{"file sweep (mdtest)", func(dir string) workload.Generator {
+			return io500.New(io500.MdtHardWrite, io500.Params{Dir: dir, Ranks: 2, MdtFiles: 150})
+		}},
+	}
+
+	fmt.Printf("%-22s", "workload\\noise")
+	for _, col := range table {
+		fmt.Printf("%22s", col.name)
+	}
+	fmt.Println()
+	for _, row := range table {
+		base := run(row, nil)
+		fmt.Printf("%-22s", row.name)
+		for _, col := range table {
+			contended := run(row, &col)
+			fmt.Printf("%21.2fx", float64(contended)/float64(base))
+		}
+		fmt.Printf("   (solo %.2fs)\n", sim.ToSeconds(base))
+	}
+}
+
+// run measures the row workload, optionally against 2 looping instances of
+// the column workload on the other nodes.
+func run(row entry, noise *entry) sim.Time {
+	s := quant.Scenario{
+		Target: quant.TargetSpec{
+			Gen:   row.gen("/target"),
+			Nodes: []string{"c0", "c1"},
+			Ranks: 2,
+		},
+		MaxTime: quant.Seconds(240),
+	}
+	if noise != nil {
+		for i := 0; i < 2; i++ {
+			s.Interference = append(s.Interference, quant.InterferenceSpec{
+				Gen:   noise.gen(fmt.Sprintf("/noise%d", i)),
+				Nodes: []string{"c2", "c3", "c4"},
+				Ranks: 2, // matches the generators' Params.Ranks
+			})
+		}
+	}
+	return quant.Run(s).Duration
+}

@@ -1,0 +1,73 @@
+// Quickstart: simulate a small cluster, measure a workload with and without
+// interference, collect a labelled dataset, train the interference
+// predictor, and classify a fresh window — the whole pipeline in one file.
+package main
+
+import (
+	"fmt"
+
+	quant "quanterference"
+	"quanterference/internal/core"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+func main() {
+	// The target application: an IOR-easy-style writer on two ranks.
+	target := quant.TargetSpec{
+		Gen: io500.New(io500.IorEasyWrite, io500.Params{
+			Dir: "/app", Ranks: 2, EasyFileBytes: 48 << 20,
+		}),
+		Nodes: []string{"c0"},
+		Ranks: 2,
+	}
+
+	// 1. How long does it run alone vs against three competing readers?
+	base := quant.Run(quant.Scenario{Target: target})
+	interference := []quant.InterferenceSpec{}
+	for i := 0; i < 3; i++ {
+		interference = append(interference, quant.InterferenceSpec{
+			Gen: io500.New(io500.IorEasyRead, io500.Params{
+				Dir: fmt.Sprintf("/bg%d", i), Ranks: 6, EasyFileBytes: 16 << 20,
+			}),
+			Nodes: []string{"c1", "c2", "c3"},
+			Ranks: 6,
+		})
+	}
+	contended := quant.Run(quant.Scenario{Target: target, Interference: interference})
+	fmt.Printf("standalone: %.2fs   under interference: %.2fs   slowdown: %.1fx\n",
+		sim.ToSeconds(base.Duration), sim.ToSeconds(contended.Duration),
+		float64(contended.Duration)/float64(base.Duration))
+
+	// 2. Collect a labelled dataset: the same target against a few
+	// interference intensities (§III-D).
+	var variants []quant.Variant
+	for _, n := range []int{0, 1, 2, 3} {
+		v := quant.Variant{Name: fmt.Sprintf("level%d", n)}
+		for i := 0; i < n; i++ {
+			v.Interference = append(v.Interference, core.InterferenceSpec{
+				Gen: io500.New(io500.IorEasyRead, io500.Params{
+					Dir: fmt.Sprintf("/l%d-%d", n, i), Ranks: 6, EasyFileBytes: 16 << 20,
+				}),
+				Nodes: []string{"c1", "c2", "c3"},
+				Ranks: 6,
+			})
+		}
+		variants = append(variants, v)
+	}
+	ds := quant.CollectDataset(quant.Scenario{Target: target}, variants,
+		quant.CollectorConfig{IncludeBaseline: true})
+	fmt.Printf("dataset: %d labelled windows, class balance %v\n",
+		ds.Len(), ds.ClassCounts())
+
+	// 3. Train the kernel-based model (80/20 split) and inspect accuracy.
+	fw, confusion := quant.TrainFramework(ds, quant.FrameworkConfig{Seed: 7})
+	fmt.Printf("held-out accuracy: %.2f\n", confusion.Accuracy())
+
+	// 4. Classify a window the model has never seen.
+	sample := ds.Samples[len(ds.Samples)-1]
+	class, probs := fw.Predict(sample.Vectors)
+	fmt.Printf("window %d of run %q -> predicted %s (p=%.2f), true degradation %.1fx\n",
+		sample.Window, sample.Run, quant.BinaryBins().Name(class), probs[class],
+		sample.Degradation)
+}

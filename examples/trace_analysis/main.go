@@ -1,0 +1,110 @@
+// Trace analysis: the paper's offline labelling workflow on persisted
+// traces. Run a workload twice — alone and under interference — writing
+// DXT-style trace logs for both, then reload the logs, match operations
+// between them, and compute per-window degradation levels (§III-D's
+// ground-truth labels).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	quant "quanterference"
+	"quanterference/internal/label"
+	"quanterference/internal/sim"
+	"quanterference/internal/trace"
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/io500"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quant-traces")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+
+	target := quant.TargetSpec{
+		Gen: io500.New(io500.IorEasyWrite, io500.Params{
+			Dir: "/app", Ranks: 2, EasyFileBytes: 48 << 20,
+		}),
+		Nodes: []string{"c0"},
+		Ranks: 2,
+	}
+
+	// 1. Baseline and interfered runs, each dumped as a trace log.
+	basePath := writeTrace(filepath.Join(dir, "baseline.dxt"),
+		quant.Run(quant.Scenario{Target: target}).Records)
+	var interference []quant.InterferenceSpec
+	for i := 0; i < 3; i++ {
+		interference = append(interference, quant.InterferenceSpec{
+			Gen: io500.New(io500.IorEasyRead, io500.Params{
+				Dir: fmt.Sprintf("/bg%d", i), Ranks: 6, EasyFileBytes: 16 << 20,
+			}),
+			Nodes: []string{"c1", "c2", "c3"},
+			Ranks: 6,
+		})
+	}
+	contPath := writeTrace(filepath.Join(dir, "contended.dxt"),
+		quant.Run(quant.Scenario{Target: target, Interference: interference}).Records)
+
+	// 2. Reload the logs — this is where a real deployment would pick up,
+	// with traces gathered on different days.
+	baseRecs := readTrace(basePath)
+	contRecs := readTrace(contPath)
+	fmt.Printf("loaded %d baseline and %d contended records\n", len(baseRecs), len(contRecs))
+
+	// 3. Match ops and compute per-window degradations.
+	labeler := label.New(baseRecs, sim.Second, 3)
+	fmt.Printf("matched %d/%d contended ops to the baseline\n",
+		labeler.Matched(contRecs), len(contRecs))
+	degs := labeler.Degradations(contRecs)
+	bins := quant.SeverityBins()
+	windows := make([]int, 0, len(degs))
+	for w := range degs {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+	fmt.Println("\nwindow  degradation  class")
+	for _, w := range windows {
+		fmt.Printf("%6d  %10.1fx  %s\n", w, degs[w], bins.Name(bins.Label(degs[w])))
+	}
+}
+
+func writeTrace(path string, recs []workload.Record) string {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	w := trace.NewWriter(f)
+	for _, rec := range recs {
+		w.Write(rec)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	return path
+}
+
+func readTrace(path string) []workload.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	return recs
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "trace_analysis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module quanterference
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package blockqueue models the Linux block layer sitting in front of a
+// rotational disk: a request queue with back/front merging of contiguous
+// requests, a pluggable dispatch policy (FIFO, C-LOOK elevator, optional
+// read priority with a write-starvation bound, like the deadline scheduler),
+// and /proc/diskstats-style accounting.
+//
+// The counters exposed here are exactly the raw material for the paper's
+// Table II server-side metrics: completed I/Os, merges, sectors moved, time
+// spent queued, and the queue-depth integral ("weighted" time).
+package blockqueue
+
+import (
+	"quanterference/internal/disk"
+	"quanterference/internal/sim"
+)
+
+// Scheduler selects the dispatch order.
+type Scheduler int
+
+const (
+	// FIFO dispatches in arrival order.
+	FIFO Scheduler = iota
+	// Elevator dispatches C-LOOK: ascending sector order from the current
+	// head position, wrapping to the lowest pending sector.
+	Elevator
+)
+
+// Config tunes the queue.
+type Config struct {
+	Scheduler Scheduler
+	// MaxMergeSectors caps the size of a merged request (default 2048
+	// sectors = 1 MiB, matching max_sectors_kb=1024).
+	MaxMergeSectors int64
+	// ReadPriority dispatches pending reads before writes, but after
+	// WriteStarveLimit consecutive reads a write is dispatched anyway.
+	ReadPriority bool
+	// WriteStarveLimit bounds write starvation under ReadPriority
+	// (default 4, cf. the deadline scheduler's writes_starved).
+	WriteStarveLimit int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxMergeSectors == 0 {
+		c.MaxMergeSectors = 2048
+	}
+	if c.WriteStarveLimit == 0 {
+		c.WriteStarveLimit = 4
+	}
+}
+
+// Counters mirrors the /proc/diskstats fields the server-side monitor
+// samples once per second.
+type Counters struct {
+	ReadsCompleted  uint64
+	WritesCompleted uint64
+	ReadsMerged     uint64
+	WritesMerged    uint64
+	SectorsRead     uint64
+	SectorsWritten  uint64
+	// ReadTime / WriteTime sum, over completed requests, the full
+	// queue-entry-to-completion latency (diskstats fields 4 and 8).
+	ReadTime  sim.Time
+	WriteTime sim.Time
+	// InFlight is the instantaneous number of requests issued but not
+	// completed (queued + on device).
+	InFlight int
+	// IOTime is the total wall time with at least one request in flight
+	// (io_ticks).
+	IOTime sim.Time
+	// WeightedIOTime integrates InFlight over time (aveq).
+	WeightedIOTime sim.Time
+}
+
+type ioReq struct {
+	op      disk.Op
+	sector  int64
+	sectors int64
+	arrival sim.Time
+	dones   []func()
+	merges  uint64 // number of requests merged into this one
+}
+
+func (r *ioReq) end() int64 { return r.sector + r.sectors }
+
+// Queue is one device's request queue.
+type Queue struct {
+	eng *sim.Engine
+	dev *disk.Disk
+	cfg Config
+
+	pending    []*ioReq
+	dispatched *ioReq
+	counters   Counters
+
+	lastAccount   sim.Time
+	consecReads   int
+	totalSubmits  uint64
+	totalDispatch uint64
+}
+
+// New wraps a disk with a request queue.
+func New(eng *sim.Engine, dev *disk.Disk, cfg Config) *Queue {
+	cfg.applyDefaults()
+	return &Queue{eng: eng, dev: dev, cfg: cfg}
+}
+
+// account integrates queue-depth-over-time counters up to now.
+func (q *Queue) account() {
+	now := q.eng.Now()
+	dt := now - q.lastAccount
+	if dt > 0 && q.counters.InFlight > 0 {
+		q.counters.WeightedIOTime += sim.Time(q.counters.InFlight) * dt
+		q.counters.IOTime += dt
+	}
+	q.lastAccount = now
+}
+
+// Depth returns the number of requests waiting for dispatch.
+func (q *Queue) Depth() int { return len(q.pending) }
+
+// Idle reports whether nothing is queued or on the device.
+func (q *Queue) Idle() bool { return len(q.pending) == 0 && q.dispatched == nil }
+
+// Counters returns a snapshot with time integrals brought up to now.
+func (q *Queue) Counters() Counters {
+	q.account()
+	return q.counters
+}
+
+// DiskStats exposes the underlying device counters.
+func (q *Queue) DiskStats() disk.Stats { return q.dev.Stats() }
+
+// Device exposes the underlying device (e.g. for fail-slow injection).
+func (q *Queue) Device() *disk.Disk { return q.dev }
+
+// Submit enqueues an I/O. done runs when the request (or the merged request
+// carrying it) completes on media.
+func (q *Queue) Submit(op disk.Op, sector, sectors int64, done func()) {
+	if sectors <= 0 {
+		panic("blockqueue: non-positive request size")
+	}
+	if done == nil {
+		panic("blockqueue: nil completion")
+	}
+	q.account()
+	q.counters.InFlight++
+	q.totalSubmits++
+
+	// Try to merge with a pending request of the same direction.
+	for _, p := range q.pending {
+		if p.op != op || p.sectors+sectors > q.cfg.MaxMergeSectors {
+			continue
+		}
+		if p.end() == sector { // back merge
+			p.sectors += sectors
+			p.dones = append(p.dones, done)
+			p.merges++
+			q.noteMerge(op)
+			return
+		}
+		if sector+sectors == p.sector { // front merge
+			p.sector = sector
+			p.sectors += sectors
+			p.dones = append(p.dones, done)
+			p.merges++
+			q.noteMerge(op)
+			return
+		}
+	}
+
+	q.pending = append(q.pending, &ioReq{
+		op: op, sector: sector, sectors: sectors,
+		arrival: q.eng.Now(), dones: []func(){done},
+	})
+	q.maybeDispatch()
+}
+
+func (q *Queue) noteMerge(op disk.Op) {
+	if op == disk.Read {
+		q.counters.ReadsMerged++
+	} else {
+		q.counters.WritesMerged++
+	}
+}
+
+// pickNext selects the index of the next request to dispatch.
+func (q *Queue) pickNext() int {
+	if len(q.pending) == 1 {
+		return 0
+	}
+	// Read priority with bounded write starvation.
+	candidates := q.pending
+	restrictOp := disk.Op(-1)
+	if q.cfg.ReadPriority {
+		hasRead, hasWrite := false, false
+		for _, p := range q.pending {
+			if p.op == disk.Read {
+				hasRead = true
+			} else {
+				hasWrite = true
+			}
+		}
+		switch {
+		case hasRead && hasWrite && q.consecReads >= q.cfg.WriteStarveLimit:
+			restrictOp = disk.Write
+		case hasRead:
+			restrictOp = disk.Read
+		}
+	}
+	best := -1
+	switch q.cfg.Scheduler {
+	case FIFO:
+		for i, p := range candidates {
+			if restrictOp >= 0 && p.op != restrictOp {
+				continue
+			}
+			if best == -1 || p.arrival < candidates[best].arrival {
+				best = i
+			}
+		}
+	case Elevator:
+		// C-LOOK: smallest sector >= head; else wrap to globally smallest.
+		head := q.dev.Head()
+		wrap := -1
+		for i, p := range candidates {
+			if restrictOp >= 0 && p.op != restrictOp {
+				continue
+			}
+			if p.sector >= head {
+				if best == -1 || p.sector < candidates[best].sector {
+					best = i
+				}
+			}
+			if wrap == -1 || p.sector < candidates[wrap].sector {
+				wrap = i
+			}
+		}
+		if best == -1 {
+			best = wrap
+		}
+	}
+	if best == -1 {
+		best = 0
+	}
+	return best
+}
+
+func (q *Queue) maybeDispatch() {
+	if q.dispatched != nil || len(q.pending) == 0 || q.dev.Busy() {
+		return
+	}
+	i := q.pickNext()
+	req := q.pending[i]
+	q.pending = append(q.pending[:i], q.pending[i+1:]...)
+	q.dispatched = req
+	q.totalDispatch++
+	if req.op == disk.Read {
+		q.consecReads++
+	} else {
+		q.consecReads = 0
+	}
+	q.dev.Submit(&disk.Request{
+		Op:      req.op,
+		Sector:  req.sector,
+		Sectors: req.sectors,
+		Done:    func() { q.complete(req) },
+	})
+}
+
+func (q *Queue) complete(req *ioReq) {
+	q.account()
+	n := uint64(len(req.dones))
+	latency := q.eng.Now() - req.arrival
+	if req.op == disk.Read {
+		q.counters.ReadsCompleted += n
+		q.counters.SectorsRead += uint64(req.sectors)
+		q.counters.ReadTime += latency * sim.Time(n)
+	} else {
+		q.counters.WritesCompleted += n
+		q.counters.SectorsWritten += uint64(req.sectors)
+		q.counters.WriteTime += latency * sim.Time(n)
+	}
+	q.counters.InFlight -= int(n)
+	q.dispatched = nil
+	for _, d := range req.dones {
+		d()
+	}
+	q.maybeDispatch()
+}

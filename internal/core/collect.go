@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/par"
+	"quanterference/internal/workload"
+)
+
+// Variant is one interference configuration used during training-data
+// collection: the target workload is re-run against it and every labelled
+// window becomes one sample.
+type Variant struct {
+	Name         string
+	Interference []InterferenceSpec
+}
+
+// CollectorConfig controls §III-D data generation.
+type CollectorConfig struct {
+	// Bins discretize degradation into classes (default: binary >=2x).
+	Bins label.Bins
+	// MinOpsPerWindow drops windows with too few matched ops (default 3).
+	MinOpsPerWindow int
+	// IncludeBaseline adds the baseline run's own windows as label-0
+	// samples (degradation 1.0), teaching the model what "no
+	// interference" looks like.
+	IncludeBaseline bool
+}
+
+func (c *CollectorConfig) applyDefaults() {
+	if c.Bins.Thresholds == nil {
+		c.Bins = label.BinaryBins()
+	}
+	if c.MinOpsPerWindow == 0 {
+		c.MinOpsPerWindow = 3
+	}
+}
+
+// CollectDataset runs the scenario's target once without interference (the
+// baseline), then once per variant, labels every window by the average
+// per-op iotime ratio against the baseline, and assembles the dataset.
+func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dataset.Dataset {
+	cfg.applyDefaults()
+	base.applyDefaults()
+	base.Interference = nil
+
+	baseRes := Run(base)
+	if !baseRes.Finished {
+		panic("core: baseline run did not finish within MaxTime")
+	}
+	labeler := label.New(baseRes.Records, base.WindowSize, cfg.MinOpsPerWindow)
+
+	ds := dataset.New(window.FeatureNames(), baseRes.NTargets, cfg.Bins.Classes())
+
+	// samplesFor builds one run's samples in ascending window order, so the
+	// dataset's sample order — and hence every seeded split — is
+	// reproducible.
+	samplesFor := func(runName string, res *RunResult, degs map[int]float64) []*dataset.Sample {
+		idxs := make([]int, 0, len(degs))
+		for idx := range degs {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		out := make([]*dataset.Sample, 0, len(idxs))
+		for _, idx := range idxs {
+			mat, ok := res.Windows[idx]
+			if !ok {
+				continue
+			}
+			out = append(out, &dataset.Sample{
+				Workload:    base.Target.Gen.Name(),
+				Run:         runName,
+				Window:      idx,
+				Degradation: degs[idx],
+				Label:       cfg.Bins.Label(degs[idx]),
+				Vectors:     mat,
+			})
+		}
+		return out
+	}
+
+	if cfg.IncludeBaseline {
+		for _, s := range samplesFor("baseline", baseRes, labeler.Degradations(baseRes.Records)) {
+			ds.Add(s)
+		}
+	}
+	// Variant runs are independent simulations: fan out across cores and
+	// splice the results back in variant order.
+	perVariant := make([][]*dataset.Sample, len(variants))
+	par.Map(len(variants), func(i int) {
+		v := variants[i]
+		run := base
+		run.Interference = v.Interference
+		res := Run(run)
+		name := v.Name
+		if name == "" {
+			name = fmt.Sprintf("variant%d", i)
+		}
+		perVariant[i] = samplesFor(name, res, labeler.Degradations(res.Records))
+	})
+	for _, samples := range perVariant {
+		for _, s := range samples {
+			ds.Add(s)
+		}
+	}
+	return ds
+}
+
+// MatchRate reports the fraction of a run's records that matched the
+// baseline — a data-quality diagnostic.
+func MatchRate(baseline, interf []workload.Record) float64 {
+	if len(interf) == 0 {
+		return 0
+	}
+	l := label.New(baseline, 1, 1)
+	return float64(l.Matched(interf)) / float64(len(interf))
+}

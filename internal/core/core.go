@@ -1,0 +1,183 @@
+// Package core assembles the paper's framework (Figure 2): the client-side
+// monitor tracing the target application, the server-side monitors sampling
+// every storage target, and the training server that turns windows into
+// per-server vectors, labels them against a baseline run, trains the
+// kernel-based model, and serves online predictions.
+//
+// The substrate is the simulated cluster (internal/lustre and friends); the
+// public entry points are Scenario/Run for single measurement runs,
+// Collector for §III-D training-data generation, and Framework for
+// train/evaluate/predict.
+package core
+
+import (
+	"fmt"
+
+	"quanterference/internal/lustre"
+	"quanterference/internal/monitor/clientmon"
+	"quanterference/internal/monitor/servermon"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/netsim"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// Cluster is one simulated system instance.
+type Cluster struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+	FS  *lustre.FS
+}
+
+// NewCluster builds a fresh engine, network, and file system.
+func NewCluster(topo lustre.Topology, cfg lustre.Config) *Cluster {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.Config{})
+	fs := lustre.New(eng, net, topo, cfg)
+	return &Cluster{Eng: eng, Net: net, FS: fs}
+}
+
+// TargetSpec places the measured application.
+type TargetSpec struct {
+	Gen   workload.Generator
+	Nodes []string
+	Ranks int
+}
+
+// InterferenceSpec places one looping interference workload.
+type InterferenceSpec struct {
+	Gen   workload.Generator
+	Nodes []string
+	Ranks int
+	// StartAt delays the interference (default: starts immediately).
+	StartAt sim.Time
+}
+
+// Scenario is one measurement run: a target workload, optional interference,
+// and the monitoring window size.
+type Scenario struct {
+	Topology     lustre.Topology
+	FSConfig     lustre.Config
+	Target       TargetSpec
+	Interference []InterferenceSpec
+	// WindowSize is the monitor aggregation window (default 1 s).
+	WindowSize sim.Time
+	// MaxTime caps the run (default 600 s); the run also ends when the
+	// target finishes.
+	MaxTime sim.Time
+	// OSTSkew rotates the round-robin OST allocator before any file is
+	// created, so repeated collections place the target on different
+	// OSTs — the run-to-run layout variance §III-C motivates the kernel
+	// model with.
+	OSTSkew int
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.Topology.MDSNode == "" {
+		s.Topology = lustre.PaperTopology()
+	}
+	if s.WindowSize == 0 {
+		s.WindowSize = sim.Second
+	}
+	if s.MaxTime == 0 {
+		s.MaxTime = 600 * sim.Second
+	}
+	if s.WindowSize%sim.Second != 0 {
+		panic("core: window size must be a whole number of seconds")
+	}
+}
+
+// RunResult is everything one scenario run produced.
+type RunResult struct {
+	// Records is the target workload's client-side trace.
+	Records []workload.Record
+	// Windows maps window index to the assembled per-server vectors.
+	Windows map[int]window.Matrix
+	// ServerWindows retains the raw server-side vectors per window.
+	ServerWindows map[int][][]float64
+	// Duration is when the target finished (or MaxTime).
+	Duration sim.Time
+	// Finished reports whether the target completed before MaxTime.
+	Finished bool
+	// NTargets is the storage-target count of the cluster.
+	NTargets int
+}
+
+// Run executes a scenario on a fresh cluster.
+func Run(s Scenario) *RunResult {
+	s.applyDefaults()
+	cl := NewCluster(s.Topology, s.FSConfig)
+	if s.Target.Gen == nil || s.Target.Ranks <= 0 || len(s.Target.Nodes) == 0 {
+		panic("core: scenario needs a target workload")
+	}
+	for i := 0; i < s.OSTSkew; i++ {
+		cl.FS.Populate(fmt.Sprintf("/.skew%d", i), 1, 1)
+	}
+
+	cm := clientmon.New(cl.FS.NumTargets(), s.WindowSize)
+	sm := servermon.New(cl.FS, s.WindowSize)
+
+	res := &RunResult{NTargets: cl.FS.NumTargets()}
+
+	var interfRunners []*workload.Runner
+	for i, spec := range s.Interference {
+		spec := spec
+		if spec.Ranks <= 0 || len(spec.Nodes) == 0 {
+			panic(fmt.Sprintf("core: interference %d incomplete", i))
+		}
+		r := &workload.Runner{
+			FS: cl.FS, Name: fmt.Sprintf("interference%d-%s", i, spec.Gen.Name()),
+			Nodes: spec.Nodes, Ranks: spec.Ranks, Gen: spec.Gen, Loop: true,
+		}
+		interfRunners = append(interfRunners, r)
+		if spec.StartAt > 0 {
+			cl.Eng.Schedule(spec.StartAt, r.Start)
+		} else {
+			r.Start()
+		}
+	}
+
+	target := &workload.Runner{
+		FS: cl.FS, Name: s.Target.Gen.Name(),
+		Nodes: s.Target.Nodes, Ranks: s.Target.Ranks, Gen: s.Target.Gen,
+		OnRecord: func(rec workload.Record) {
+			cm.Record(rec)
+			res.Records = append(res.Records, rec)
+		},
+		OnDone: func() {
+			res.Finished = true
+			res.Duration = cl.Eng.Now()
+			for _, r := range interfRunners {
+				r.Stop()
+			}
+		},
+	}
+	target.Start()
+
+	// Run to the window boundary after the target completes, so the last
+	// window's server metrics are finalized.
+	for cl.Eng.Now() < s.MaxTime {
+		cl.Eng.RunUntil(cl.Eng.Now() + s.WindowSize)
+		if res.Finished {
+			// One more boundary to finalize the final window.
+			cl.Eng.RunUntil(((cl.Eng.Now()/s.WindowSize)+1)*s.WindowSize + 1)
+			break
+		}
+	}
+	if !res.Finished {
+		res.Duration = cl.Eng.Now()
+		target.Stop()
+		for _, r := range interfRunners {
+			r.Stop()
+		}
+	}
+	sm.Stop()
+
+	res.Windows = window.Collect(cl.FS.NumTargets(), cm, sm)
+	res.ServerWindows = make(map[int][][]float64)
+	for _, idx := range sm.Windows() {
+		v, _ := sm.Window(idx)
+		res.ServerWindows[idx] = v
+	}
+	return res
+}

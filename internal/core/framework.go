@@ -1,0 +1,134 @@
+package core
+
+import (
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/clientmon"
+	"quanterference/internal/monitor/servermon"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// Framework is the trained prediction service: model + scaler + bins.
+type Framework struct {
+	Bins   label.Bins
+	Model  ml.Model
+	Scaler *dataset.Scaler
+}
+
+// FrameworkConfig controls training.
+type FrameworkConfig struct {
+	Bins     label.Bins // default binary
+	TestFrac float64    // default 0.2, the paper's split
+	Train    ml.TrainConfig
+	// Flat selects the ablation baseline instead of the kernel model.
+	Flat bool
+	// NewModel, when set, overrides the architecture entirely (e.g. the
+	// attention extension); it wins over Flat.
+	NewModel func(nTargets, nFeat, classes int, seed int64) ml.Model
+	Seed     int64
+}
+
+// TrainFramework splits the dataset 80/20, standardizes on the training
+// portion, trains the model, and returns the framework plus the test-set
+// confusion matrix (the paper's Figures 3-5).
+func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.Confusion) {
+	if cfg.Bins.Thresholds == nil {
+		cfg.Bins = label.BinaryBins()
+	}
+	if cfg.TestFrac == 0 {
+		cfg.TestFrac = 0.2
+	}
+	if cfg.Train.Seed == 0 {
+		cfg.Train.Seed = cfg.Seed
+	}
+	train, test := ds.Split(cfg.TestFrac, cfg.Seed^0x5717)
+	// Standardize copies: the caller's dataset must stay in raw units so
+	// Framework.Predict (which scales its own input) sees raw vectors.
+	train, test = train.Copy(), test.Copy()
+	scaler := dataset.FitScaler(train)
+	scaler.Transform(train)
+	scaler.Transform(test)
+
+	var model ml.Model
+	nFeat := len(ds.FeatureNames)
+	switch {
+	case cfg.NewModel != nil:
+		model = cfg.NewModel(ds.NTargets, nFeat, ds.Classes, cfg.Seed)
+	case cfg.Flat:
+		model = ml.NewFlatModel(ds.NTargets, nFeat, ds.Classes, nil, cfg.Seed)
+	default:
+		model = ml.NewKernelModel(ml.KernelConfig{
+			NTargets: ds.NTargets, NFeat: nFeat, Classes: ds.Classes, Seed: cfg.Seed,
+		})
+	}
+	cfg.Train.BalanceClasses = true
+	ml.Train(model, train, cfg.Train)
+
+	fw := &Framework{Bins: cfg.Bins, Model: model, Scaler: scaler}
+	return fw, ml.Evaluate(model, test)
+}
+
+// Predict classifies one raw (unscaled) window matrix.
+func (f *Framework) Predict(mat window.Matrix) (class int, probs []float64) {
+	scaled := make([][]float64, len(mat))
+	for t, vec := range mat {
+		v := append([]float64(nil), vec...)
+		for i := range v {
+			v[i] = (v[i] - f.Scaler.Mean[i]) / f.Scaler.Std[i]
+		}
+		scaled[t] = v
+	}
+	probs = f.Model.Probs(scaled)
+	class = 0
+	for i := range probs {
+		if probs[i] > probs[class] {
+			class = i
+		}
+	}
+	return class, probs
+}
+
+// LiveMonitor attaches the two monitors to a running cluster and emits a
+// per-server matrix at every window boundary — the runtime-prediction path
+// of Figure 2.
+type LiveMonitor struct {
+	cm *clientmon.Monitor
+	sm *servermon.Monitor
+
+	nTargets int
+	ticker   *sim.Ticker
+}
+
+// AttachLive starts live monitoring on the cluster. Wire Record into the
+// target workload's Runner.OnRecord; onWindow fires right after each window
+// finalizes with that window's matrix.
+func AttachLive(cl *Cluster, windowSize sim.Time, onWindow func(idx int, mat window.Matrix)) *LiveMonitor {
+	lm := &LiveMonitor{
+		cm:       clientmon.New(cl.FS.NumTargets(), windowSize),
+		sm:       servermon.New(cl.FS, windowSize),
+		nTargets: cl.FS.NumTargets(),
+	}
+	lm.ticker = sim.NewTicker(cl.Eng, windowSize, func(now sim.Time) {
+		// Defer with a zero-delay event so the server monitor's own tick
+		// (same instant) finalizes the window first.
+		idx := int(now/windowSize) - 1
+		cl.Eng.Schedule(0, func() {
+			cw, _ := lm.cm.Window(idx)
+			sw, _ := lm.sm.Window(idx)
+			onWindow(idx, window.Assemble(lm.nTargets, cw, sw))
+		})
+	})
+	return lm
+}
+
+// Record is the client-monitor hook.
+func (lm *LiveMonitor) Record(rec workload.Record) { lm.cm.Record(rec) }
+
+// Stop halts sampling and window emission.
+func (lm *LiveMonitor) Stop() {
+	lm.ticker.Stop()
+	lm.sm.Stop()
+}

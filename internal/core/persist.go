@@ -1,0 +1,58 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/ml"
+)
+
+// frameworkSpec is the on-disk form of a trained Framework.
+type frameworkSpec struct {
+	Model      *ml.ModelSpec   `json:"model"`
+	Scaler     *dataset.Scaler `json:"scaler"`
+	Thresholds []float64       `json:"thresholds"`
+}
+
+// Save persists the trained framework (model weights, scaler, bins) as JSON
+// so prediction can run in a later process (cmd/quantpredict).
+func (f *Framework) Save(path string) error {
+	spec, err := ml.Snapshot(f.Model)
+	if err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return json.NewEncoder(file).Encode(frameworkSpec{
+		Model:      spec,
+		Scaler:     f.Scaler,
+		Thresholds: f.Bins.Thresholds,
+	})
+}
+
+// LoadFramework restores a framework written by Save.
+func LoadFramework(path string) (*Framework, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var spec frameworkSpec
+	if err := json.NewDecoder(file).Decode(&spec); err != nil {
+		return nil, err
+	}
+	model, err := ml.Restore(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Bins:   label.Bins{Thresholds: spec.Thresholds},
+		Model:  model,
+		Scaler: spec.Scaler,
+	}, nil
+}

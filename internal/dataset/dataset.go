@@ -1,0 +1,269 @@
+// Package dataset assembles labelled training samples — one per (run, time
+// window) with a [targets × features] matrix and a degradation class — and
+// provides the 80/20 split, per-feature standardization, and JSON
+// (de)serialization used by the training tools.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"quanterference/internal/sim"
+)
+
+// Sample is one labelled time window.
+type Sample struct {
+	Workload    string      `json:"workload"`
+	Run         string      `json:"run"`
+	Window      int         `json:"window"`
+	Degradation float64     `json:"degradation"`
+	Label       int         `json:"label"`
+	Vectors     [][]float64 `json:"vectors"` // [target][feature]
+}
+
+// Dataset is a labelled collection with its schema.
+type Dataset struct {
+	FeatureNames []string  `json:"feature_names"`
+	NTargets     int       `json:"n_targets"`
+	Classes      int       `json:"classes"`
+	Samples      []*Sample `json:"samples"`
+}
+
+// New creates an empty dataset with the given schema.
+func New(featureNames []string, nTargets, classes int) *Dataset {
+	return &Dataset{FeatureNames: featureNames, NTargets: nTargets, Classes: classes}
+}
+
+// Add validates and appends a sample.
+func (d *Dataset) Add(s *Sample) {
+	if len(s.Vectors) != d.NTargets {
+		panic(fmt.Sprintf("dataset: sample has %d targets, want %d", len(s.Vectors), d.NTargets))
+	}
+	for _, v := range s.Vectors {
+		if len(v) != len(d.FeatureNames) {
+			panic(fmt.Sprintf("dataset: vector width %d, want %d", len(v), len(d.FeatureNames)))
+		}
+	}
+	if s.Label < 0 || s.Label >= d.Classes {
+		panic(fmt.Sprintf("dataset: label %d out of %d classes", s.Label, d.Classes))
+	}
+	d.Samples = append(d.Samples, s)
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// ClassCounts tallies samples per label.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, s := range d.Samples {
+		counts[s.Label]++
+	}
+	return counts
+}
+
+// clone returns a dataset with the same schema and no samples.
+func (d *Dataset) clone() *Dataset {
+	return New(d.FeatureNames, d.NTargets, d.Classes)
+}
+
+// Split randomly partitions the samples into train and test sets, reserving
+// testFrac (e.g. 0.2 for the paper's 80/20 split) for testing.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	if testFrac < 0 || testFrac >= 1 {
+		panic("dataset: testFrac must be in [0,1)")
+	}
+	train, test = d.clone(), d.clone()
+	perm := sim.NewRNG(seed).Perm(len(d.Samples))
+	nTest := int(math.Round(testFrac * float64(len(d.Samples))))
+	for i, p := range perm {
+		if i < nTest {
+			test.Samples = append(test.Samples, d.Samples[p])
+		} else {
+			train.Samples = append(train.Samples, d.Samples[p])
+		}
+	}
+	return train, test
+}
+
+// Merge appends all samples of other (schemas must match).
+func (d *Dataset) Merge(other *Dataset) {
+	if other.NTargets != d.NTargets || len(other.FeatureNames) != len(d.FeatureNames) ||
+		other.Classes != d.Classes {
+		panic("dataset: merging incompatible schemas")
+	}
+	d.Samples = append(d.Samples, other.Samples...)
+}
+
+// Save writes the dataset as JSON.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(d)
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d Dataset
+	if err := json.NewDecoder(f).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Copy deep-copies the dataset (samples and vectors), so destructive
+// operations like Scaler.Transform cannot touch the original.
+func (d *Dataset) Copy() *Dataset {
+	out := d.clone()
+	for _, s := range d.Samples {
+		c := *s
+		c.Vectors = make([][]float64, len(s.Vectors))
+		for t, vec := range s.Vectors {
+			c.Vectors[t] = append([]float64(nil), vec...)
+		}
+		out.Samples = append(out.Samples, &c)
+	}
+	return out
+}
+
+// Rebin re-labels every sample from its stored degradation level using a
+// different bin set (e.g. turning a binary dataset into the 3-class one
+// without re-simulating). labelOf maps a degradation level to a class.
+func (d *Dataset) Rebin(classes int, labelOf func(deg float64) int) *Dataset {
+	out := New(d.FeatureNames, d.NTargets, classes)
+	for _, s := range d.Samples {
+		c := *s
+		c.Label = labelOf(s.Degradation)
+		out.Add(&c)
+	}
+	return out
+}
+
+// SelectFeatures projects every vector onto the given feature indices (for
+// the client-only / server-only feature ablation). Vectors are copied.
+func (d *Dataset) SelectFeatures(idxs []int) *Dataset {
+	names := make([]string, len(idxs))
+	for i, f := range idxs {
+		names[i] = d.FeatureNames[f]
+	}
+	out := New(names, d.NTargets, d.Classes)
+	for _, s := range d.Samples {
+		c := *s
+		c.Vectors = make([][]float64, len(s.Vectors))
+		for t, vec := range s.Vectors {
+			nv := make([]float64, len(idxs))
+			for i, f := range idxs {
+				nv[i] = vec[f]
+			}
+			c.Vectors[t] = nv
+		}
+		out.Add(&c)
+	}
+	return out
+}
+
+// Scaler standardizes features to zero mean and unit variance, fit on the
+// training set only.
+type Scaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler computes per-feature statistics over all targets and samples.
+func FitScaler(d *Dataset) *Scaler {
+	nf := len(d.FeatureNames)
+	s := &Scaler{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	n := 0
+	for _, smp := range d.Samples {
+		for _, vec := range smp.Vectors {
+			for f, x := range vec {
+				s.Mean[f] += x
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		for f := range s.Std {
+			s.Std[f] = 1
+		}
+		return s
+	}
+	for f := range s.Mean {
+		s.Mean[f] /= float64(n)
+	}
+	for _, smp := range d.Samples {
+		for _, vec := range smp.Vectors {
+			for f, x := range vec {
+				dlt := x - s.Mean[f]
+				s.Std[f] += dlt * dlt
+			}
+		}
+	}
+	for f := range s.Std {
+		s.Std[f] = math.Sqrt(s.Std[f] / float64(n))
+		if s.Std[f] < 1e-12 {
+			s.Std[f] = 1 // constant feature: leave centred only
+		}
+	}
+	return s
+}
+
+// Transform standardizes every vector in place.
+func (s *Scaler) Transform(d *Dataset) {
+	for _, smp := range d.Samples {
+		for _, vec := range smp.Vectors {
+			for f := range vec {
+				vec[f] = (vec[f] - s.Mean[f]) / s.Std[f]
+			}
+		}
+	}
+}
+
+// SaveCSV writes a flat CSV view: one row per sample with metadata columns
+// followed by every (target, feature) cell — consumable by external tools.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprint(w, "workload,run,window,degradation,label")
+	for t := 0; t < d.NTargets; t++ {
+		for _, name := range d.FeatureNames {
+			fmt.Fprintf(w, ",t%d_%s", t, name)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range d.Samples {
+		fmt.Fprintf(w, "%s,%s,%d,%.6f,%d",
+			csvEscape(s.Workload), csvEscape(s.Run), s.Window, s.Degradation, s.Label)
+		for _, vec := range s.Vectors {
+			for _, x := range vec {
+				fmt.Fprintf(w, ",%.6g", x)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quanterference/internal/sim"
+)
+
+func mkDataset(n int) *Dataset {
+	d := New([]string{"f0", "f1"}, 3, 2)
+	rng := sim.NewRNG(1)
+	for i := 0; i < n; i++ {
+		vecs := make([][]float64, 3)
+		for t := range vecs {
+			vecs[t] = []float64{rng.Float64() * 10, rng.Float64()*2 - 1}
+		}
+		d.Add(&Sample{
+			Workload: "w", Run: "r", Window: i,
+			Degradation: 1 + rng.Float64()*5,
+			Label:       i % 2,
+			Vectors:     vecs,
+		})
+	}
+	return d
+}
+
+func TestAddValidatesShape(t *testing.T) {
+	d := New([]string{"a"}, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Add(&Sample{Vectors: [][]float64{{1}}, Label: 0}) // 1 target, want 2
+}
+
+func TestAddValidatesLabel(t *testing.T) {
+	d := New([]string{"a"}, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Add(&Sample{Vectors: [][]float64{{1}}, Label: 5})
+}
+
+func TestSplitProportionsAndDisjoint(t *testing.T) {
+	d := mkDataset(100)
+	train, test := d.Split(0.2, 42)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split %d/%d", train.Len(), test.Len())
+	}
+	seen := map[*Sample]bool{}
+	for _, s := range train.Samples {
+		seen[s] = true
+	}
+	for _, s := range test.Samples {
+		if seen[s] {
+			t.Fatal("sample appears in both splits")
+		}
+	}
+}
+
+func TestSplitDeterministicBySeed(t *testing.T) {
+	d := mkDataset(50)
+	_, t1 := d.Split(0.2, 7)
+	_, t2 := d.Split(0.2, 7)
+	for i := range t1.Samples {
+		if t1.Samples[i] != t2.Samples[i] {
+			t.Fatal("same seed, different split")
+		}
+	}
+	_, t3 := d.Split(0.2, 8)
+	same := true
+	for i := range t1.Samples {
+		if t1.Samples[i] != t3.Samples[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical split")
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := mkDataset(10)
+	counts := d.ClassCounts()
+	if counts[0]+counts[1] != 10 || counts[0] != 5 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	d := mkDataset(200)
+	s := FitScaler(d)
+	s.Transform(d)
+	// After transform, each feature should be ~N(0,1) over all vectors.
+	nf := len(d.FeatureNames)
+	sum := make([]float64, nf)
+	sumSq := make([]float64, nf)
+	n := 0
+	for _, smp := range d.Samples {
+		for _, vec := range smp.Vectors {
+			for f, x := range vec {
+				sum[f] += x
+				sumSq[f] += x * x
+			}
+			n++
+		}
+	}
+	for f := 0; f < nf; f++ {
+		mean := sum[f] / float64(n)
+		variance := sumSq[f]/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-6 {
+			t.Fatalf("feature %d mean=%g var=%g", f, mean, variance)
+		}
+	}
+}
+
+func TestScalerConstantFeatureSafe(t *testing.T) {
+	d := New([]string{"const"}, 1, 2)
+	for i := 0; i < 5; i++ {
+		d.Add(&Sample{Vectors: [][]float64{{7}}, Label: 0})
+	}
+	s := FitScaler(d)
+	s.Transform(d)
+	for _, smp := range d.Samples {
+		if v := smp.Vectors[0][0]; v != 0 || math.IsNaN(v) {
+			t.Fatalf("constant feature transformed to %f", v)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := mkDataset(20)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 20 || got.NTargets != 3 || got.Classes != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	for i := range got.Samples {
+		if got.Samples[i].Label != d.Samples[i].Label {
+			t.Fatal("labels differ after round trip")
+		}
+		for tt := range got.Samples[i].Vectors {
+			for f := range got.Samples[i].Vectors[tt] {
+				if got.Samples[i].Vectors[tt][f] != d.Samples[i].Vectors[tt][f] {
+					t.Fatal("vectors differ after round trip")
+				}
+			}
+		}
+	}
+}
+
+func TestMergeChecksSchema(t *testing.T) {
+	a := mkDataset(3)
+	b := mkDataset(4)
+	a.Merge(b)
+	if a.Len() != 7 {
+		t.Fatalf("merged len %d", a.Len())
+	}
+	c := New([]string{"x"}, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(c)
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	d := mkDataset(5)
+	c := d.Copy()
+	c.Samples[0].Vectors[0][0] = 999
+	if d.Samples[0].Vectors[0][0] == 999 {
+		t.Fatal("copy shares vector storage")
+	}
+	if c.Len() != d.Len() {
+		t.Fatal("copy lost samples")
+	}
+}
+
+func TestRebinFromDegradation(t *testing.T) {
+	d := New([]string{"x"}, 1, 2)
+	for _, deg := range []float64{1, 3, 7} {
+		lbl := 0
+		if deg >= 2 {
+			lbl = 1
+		}
+		d.Add(&Sample{Degradation: deg, Label: lbl, Vectors: [][]float64{{deg}}})
+	}
+	three := d.Rebin(3, func(deg float64) int {
+		switch {
+		case deg < 2:
+			return 0
+		case deg < 5:
+			return 1
+		default:
+			return 2
+		}
+	})
+	if got := three.ClassCounts(); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("rebin counts %v", got)
+	}
+	// Original untouched.
+	if d.Classes != 2 || d.Samples[0].Label != 0 {
+		t.Fatal("rebin mutated original")
+	}
+}
+
+func TestSelectFeaturesProjects(t *testing.T) {
+	d := New([]string{"a", "b", "c"}, 2, 2)
+	d.Add(&Sample{Label: 0, Vectors: [][]float64{{1, 2, 3}, {4, 5, 6}}})
+	p := d.SelectFeatures([]int{2, 0})
+	if len(p.FeatureNames) != 2 || p.FeatureNames[0] != "c" {
+		t.Fatalf("names %v", p.FeatureNames)
+	}
+	v := p.Samples[0].Vectors
+	if v[0][0] != 3 || v[0][1] != 1 || v[1][0] != 6 {
+		t.Fatalf("projection wrong: %v", v)
+	}
+	// Original untouched.
+	if d.Samples[0].Vectors[0][0] != 1 {
+		t.Fatal("projection mutated original")
+	}
+}
+
+func TestSaveCSVShape(t *testing.T) {
+	d := mkDataset(4)
+	d.Samples[0].Workload = "with,comma"
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("lines=%d", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	// 5 metadata + 3 targets x 2 features.
+	if len(header) != 5+6 {
+		t.Fatalf("header cols=%d: %v", len(header), header)
+	}
+	if !strings.Contains(lines[0], "t2_f1") {
+		t.Fatalf("header missing per-target feature names: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"with,comma"`) {
+		t.Fatalf("comma not escaped: %s", lines[1])
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/apps"
+	"quanterference/internal/workload/dlio"
+	"quanterference/internal/workload/io500"
+)
+
+// DatasetConfig controls §III-D training-data generation for the model
+// experiments (Figures 3-5).
+type DatasetConfig struct {
+	Scale Scale
+	// Window is the monitor aggregation window (default 1 s).
+	Window sim.Time
+	// Bins default to the paper's binary >=2x split; Figure 4 rebins the
+	// stored degradations to the 3-class setting afterwards.
+	Bins label.Bins
+	// MaxTime caps each collection run (default 240 s).
+	MaxTime sim.Time
+	// Reps repeats the whole sweep with rotated OST placement (default 3),
+	// multiplying the dataset and exposing the layout variance the kernel
+	// model is designed for.
+	Reps int
+	Seed int64
+}
+
+func (c *DatasetConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Window == 0 {
+		c.Window = sim.Second
+	}
+	if c.Bins.Thresholds == nil {
+		c.Bins = label.BinaryBins()
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 240 * sim.Second
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+}
+
+// InterferenceSweep is the standard set of interference configurations every
+// target workload is re-run against: a spread of pattern types and
+// intensities, covering the contention classes of Table I.
+func InterferenceSweep(s Scale) []core.Variant {
+	type entry struct {
+		task      io500.Task
+		instances int
+		ranks     int
+	}
+	entries := []entry{
+		{io500.IorEasyRead, 1, 2},
+		{io500.IorEasyRead, 1, 4},
+		{io500.IorEasyRead, 2, 4},
+		{io500.IorEasyRead, 3, 6},
+		{io500.IorEasyWrite, 1, 2},
+		{io500.IorEasyWrite, 1, 4},
+		{io500.IorEasyWrite, 3, 6},
+		{io500.IorHardWrite, 1, 4},
+		{io500.IorHardWrite, 2, 6},
+		{io500.MdtEasyWrite, 2, 6},
+		{io500.MdtHardWrite, 1, 4},
+		{io500.MdtHardWrite, 2, 6},
+		{io500.MdtHardRead, 2, 6},
+	}
+	var out []core.Variant
+	for i, e := range entries {
+		out = append(out, core.Variant{
+			Name: fmt.Sprintf("%s-x%dr%d", e.task, e.instances, e.ranks),
+			Interference: IO500Instances(e.task, e.instances, e.ranks,
+				interferenceParams(s), fmt.Sprintf("/sweep%d", i)),
+		})
+	}
+	return out
+}
+
+// collectFor runs the collection pipeline for one target generator,
+// repeating the sweep Reps times with the OST allocator rotated so the
+// target lands on different storage targets each repetition.
+func collectFor(cfg DatasetConfig, name string, target core.TargetSpec, variants []core.Variant) *dataset.Dataset {
+	var all *dataset.Dataset
+	for rep := 0; rep < cfg.Reps; rep++ {
+		base := core.Scenario{
+			Target:     target,
+			WindowSize: cfg.Window,
+			MaxTime:    cfg.MaxTime,
+			OSTSkew:    rep,
+		}
+		ds := core.CollectDataset(base, variants, core.CollectorConfig{
+			Bins:            cfg.Bins,
+			IncludeBaseline: rep == 0,
+		})
+		for _, s := range ds.Samples {
+			s.Workload = name
+			s.Run = fmt.Sprintf("%s#%d", s.Run, rep)
+		}
+		if all == nil {
+			all = ds
+		} else {
+			all.Merge(ds)
+		}
+	}
+	return all
+}
+
+// IO500Dataset collects labelled windows with each of the seven IO500 tasks
+// as the target application, against the full interference sweep — the
+// paper's first training dataset.
+func IO500Dataset(cfg DatasetConfig) *dataset.Dataset {
+	cfg.applyDefaults()
+	var all *dataset.Dataset
+	for _, task := range io500.AllTasks() {
+		p := io500.Params{
+			Dir:           "/tgt-" + task.String(),
+			Ranks:         4,
+			EasyFileBytes: cfg.Scale.Bytes(32 << 20),
+			HardOps:       cfg.Scale.Count(300),
+			MdtFiles:      cfg.Scale.Count(200),
+		}
+		target := core.TargetSpec{Gen: io500.New(task, p), Nodes: targetNodes, Ranks: 4}
+		ds := collectFor(cfg, task.String(), target, InterferenceSweep(cfg.Scale))
+		if all == nil {
+			all = ds
+		} else {
+			all.Merge(ds)
+		}
+	}
+	return all
+}
+
+// DLIODataset collects labelled windows with the Unet3D and BERT loader
+// emulations as targets — the paper's second dataset. The loaders' compute
+// gaps give it the negative-heavy class balance the paper reports.
+func DLIODataset(cfg DatasetConfig) *dataset.Dataset {
+	cfg.applyDefaults()
+	var all *dataset.Dataset
+	for _, model := range []dlio.Model{dlio.Unet3D, dlio.BERT} {
+		p := dlio.Params{
+			Dir:         "/dlio-" + model.String(),
+			Ranks:       4,
+			Samples:     cfg.Scale.Count(48),
+			SampleBytes: cfg.Scale.Bytes(4 << 20),
+			Epochs:      2,
+			Steps:       cfg.Scale.Count(150),
+			Seed:        cfg.Seed,
+		}
+		target := core.TargetSpec{Gen: dlio.New(model, p), Nodes: targetNodes, Ranks: 4}
+		ds := collectFor(cfg, model.String(), target, InterferenceSweep(cfg.Scale))
+		if all == nil {
+			all = ds
+		} else {
+			all.Merge(ds)
+		}
+	}
+	return all
+}
+
+// AppLevels mirrors the paper's real-application collection: one baseline
+// plus runs with increasing amounts of concurrent IO500 instances. Two extra
+// configurations supply honest no-interference windows: a single one-rank
+// reader (usually on OSTs the application never touches), and a moderate mix
+// that only arrives mid-run, leaving the pre-arrival windows unimpacted.
+func AppLevels(s Scale) []core.Variant {
+	delayed := IO500Instances(io500.IorEasyWrite, 2, 6, interferenceParams(s), "/lvl-delay")
+	for i := range delayed {
+		delayed[i].StartAt = 4 * sim.Second
+	}
+	out := []core.Variant{
+		{
+			Name: "io500-level0",
+			Interference: IO500Instances(io500.IorEasyRead, 1, 1,
+				interferenceParams(s), "/lvl0-r"),
+		},
+		{Name: "io500-delayed", Interference: delayed},
+	}
+	for level := 1; level <= 3; level++ {
+		var specs []core.InterferenceSpec
+		specs = append(specs, IO500Instances(io500.IorEasyWrite, level, 6,
+			interferenceParams(s), fmt.Sprintf("/lvl%d-w", level))...)
+		specs = append(specs, IO500Instances(io500.IorEasyRead, level, 6,
+			interferenceParams(s), fmt.Sprintf("/lvl%d-r", level))...)
+		specs = append(specs, IO500Instances(io500.MdtEasyWrite, level, 6,
+			interferenceParams(s), fmt.Sprintf("/lvl%d-m", level))...)
+		out = append(out, core.Variant{
+			Name:         fmt.Sprintf("io500-level%d", level),
+			Interference: specs,
+		})
+	}
+	return out
+}
+
+// AppDataset collects labelled windows for one real application. OpenPMD
+// deliberately runs short (few cycles), reproducing the paper's small-sample
+// caveat for its Figure 5 model.
+func AppDataset(app apps.App, cfg DatasetConfig) *dataset.Dataset {
+	cfg.applyDefaults()
+	p := apps.Params{
+		Dir:   "/app-" + app.String(),
+		Ranks: 4,
+		// Long enough that the delayed-interference variant's arrival
+		// (t=4s) lands mid-run.
+		Cycles:          20,
+		CheckpointBytes: cfg.Scale.Bytes(8 << 20),
+		Seed:            cfg.Seed,
+	}
+	if app == OpenPMDApp {
+		p.Cycles = 3
+	}
+	target := core.TargetSpec{Gen: apps.New(app, p), Nodes: targetNodes, Ranks: 4}
+	return collectFor(cfg, app.String(), target, AppLevels(cfg.Scale))
+}
+
+// OpenPMDApp is re-exported for callers configuring the small-sample case.
+const OpenPMDApp = apps.OpenPMD

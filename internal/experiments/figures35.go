@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/ml"
+	"quanterference/internal/par"
+	"quanterference/internal/plot"
+	"quanterference/internal/workload/apps"
+)
+
+// ModelEval is one trained-model evaluation: the content of one confusion-
+// matrix panel in Figures 3-5.
+type ModelEval struct {
+	Name       string
+	ClassNames []string
+	Confusion  *ml.Confusion
+	// TrainCounts/TestCounts report the class balance, which the paper
+	// quotes for each dataset.
+	TrainCounts []int
+	TestCounts  []int
+	Samples     int
+}
+
+// F1 returns the positive-class F1 for binary panels, or macro-F1 otherwise.
+func (e *ModelEval) F1() float64 {
+	if len(e.ClassNames) == 2 {
+		return e.Confusion.F1(1)
+	}
+	return e.Confusion.MacroF1()
+}
+
+// Render draws the panel.
+func (e *ModelEval) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d, train balance %v, test balance %v)\n",
+		e.Name, e.Samples, e.TrainCounts, e.TestCounts)
+	b.WriteString(e.Confusion.Render(e.ClassNames))
+	return b.String()
+}
+
+// CSV emits the confusion matrix.
+func (e *ModelEval) CSV() string {
+	var b strings.Builder
+	b.WriteString("true\\pred")
+	for _, n := range e.ClassNames {
+		b.WriteString("," + n)
+	}
+	b.WriteString("\n")
+	for i, row := range e.Confusion.M {
+		b.WriteString(e.ClassNames[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, ",%d", v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "accuracy,%.4f\nmacro_f1,%.4f\n", e.Confusion.Accuracy(), e.Confusion.MacroF1())
+	return b.String()
+}
+
+// TrainEval trains the paper's model on a dataset and evaluates it on the
+// held-out 20%, producing one panel.
+func TrainEval(name string, ds *dataset.Dataset, bins label.Bins, epochs int, seed int64) *ModelEval {
+	return TrainEvalWith(name, ds, bins, epochs, seed, false)
+}
+
+// TrainEvalWith additionally selects the flat-MLP ablation baseline.
+func TrainEvalWith(name string, ds *dataset.Dataset, bins label.Bins, epochs int, seed int64, flat bool) *ModelEval {
+	if epochs == 0 {
+		epochs = 60
+	}
+	if bins.Thresholds == nil {
+		bins = label.BinaryBins()
+	}
+	classNames := make([]string, bins.Classes())
+	for c := range classNames {
+		classNames[c] = bins.Name(c)
+	}
+	train, test := ds.Split(0.2, seed^0x5717)
+	// TrainFramework re-splits identically (same seed), so counts match.
+	_, cm := core.TrainFramework(ds, core.FrameworkConfig{
+		Bins: bins, Seed: seed, Flat: flat,
+		Train: ml.TrainConfig{Epochs: epochs, Seed: seed},
+	})
+	return &ModelEval{
+		Name:        name,
+		ClassNames:  classNames,
+		Confusion:   cm,
+		TrainCounts: train.ClassCounts(),
+		TestCounts:  test.ClassCounts(),
+		Samples:     ds.Len(),
+	}
+}
+
+// Figure3a trains and tests the binary model on the IO500 dataset.
+func Figure3a(cfg DatasetConfig, epochs int) *ModelEval {
+	cfg.applyDefaults()
+	ds := IO500Dataset(cfg)
+	return TrainEval("Figure 3(a) IO500 binary", ds, cfg.Bins, epochs, cfg.Seed)
+}
+
+// Figure3b trains and tests the binary model on the DLIO dataset.
+func Figure3b(cfg DatasetConfig, epochs int) *ModelEval {
+	cfg.applyDefaults()
+	ds := DLIODataset(cfg)
+	return TrainEval("Figure 3(b) DLIO binary", ds, cfg.Bins, epochs, cfg.Seed)
+}
+
+// Figure4 rebins the IO500 dataset to the paper's 3-class severity setting
+// (<2x, 2-5x, >=5x) and trains the multi-class model.
+func Figure4(cfg DatasetConfig, epochs int) *ModelEval {
+	cfg.applyDefaults()
+	binary := IO500Dataset(cfg)
+	return Figure4From(binary, cfg, epochs)
+}
+
+// Figure4From rebins an already collected IO500 dataset (saves the
+// simulation cost when Figure 3(a) ran first).
+func Figure4From(ds *dataset.Dataset, cfg DatasetConfig, epochs int) *ModelEval {
+	cfg.applyDefaults()
+	bins := label.SeverityBins()
+	multi := ds.Rebin(bins.Classes(), bins.Label)
+	return TrainEval("Figure 4 IO500 3-class", multi, bins, epochs, cfg.Seed)
+}
+
+// Figure5 trains and tests one binary model per real application: AMReX and
+// Enzo (data-intensive) and OpenPMD (metadata-intensive, few samples).
+func Figure5(cfg DatasetConfig, epochs int) []*ModelEval {
+	cfg.applyDefaults()
+	sel := []apps.App{apps.AMReX, apps.Enzo, apps.OpenPMD}
+	out := make([]*ModelEval, len(sel))
+	par.Map(len(sel), func(i int) {
+		ds := AppDataset(sel[i], cfg)
+		out[i] = TrainEval("Figure 5 "+sel[i].String(), ds, cfg.Bins, epochs, cfg.Seed)
+	})
+	return out
+}
+
+// SVG renders the confusion matrix panel.
+func (e *ModelEval) SVG() string {
+	return plot.Confusion(e.Name, e.ClassNames, e.Confusion.M)
+}

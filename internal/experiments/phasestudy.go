@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/io500"
+)
+
+// PhaseStudyConfig controls the multi-phase slowdown study.
+type PhaseStudyConfig struct {
+	Scale Scale
+	// Interference is the single background task every phase runs under
+	// (default ior-hard-write, the paper's §II-A example).
+	Interference io500.Task
+	Instances    int // default 3
+	Ranks        int // target ranks, default 2
+	MaxTime      sim.Time
+	interfSet    bool
+}
+
+func (c *PhaseStudyConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Instances == 0 {
+		c.Instances = 3
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 600 * sim.Second
+	}
+}
+
+// PhaseStudyResult reports per-phase slowdown of one multi-phase run.
+type PhaseStudyResult struct {
+	Interference string
+	Phases       []string
+	// BaselineTime and ContendedTime are per-phase I/O time sums.
+	BaselineTime  []sim.Time
+	ContendedTime []sim.Time
+}
+
+// Slowdown returns phase i's slowdown.
+func (r *PhaseStudyResult) Slowdown(i int) float64 {
+	if r.BaselineTime[i] == 0 {
+		return 1
+	}
+	return float64(r.ContendedTime[i]) / float64(r.BaselineTime[i])
+}
+
+// Spread returns min and max per-phase slowdown — the paper's point is that
+// they differ wildly under one interference type.
+func (r *PhaseStudyResult) Spread() (lo, hi float64) {
+	lo, hi = r.Slowdown(0), r.Slowdown(0)
+	for i := range r.Phases {
+		s := r.Slowdown(i)
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+// Render draws the per-phase table.
+func (r *PhaseStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Phase study: IO500 task sequence under %s interference\n", r.Interference)
+	fmt.Fprintf(&b, "  %-18s%14s%14s%12s\n", "phase", "alone", "contended", "slowdown")
+	for i, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-18s%14s%14s%11.2fx\n",
+			p, fmtSeconds(r.BaselineTime[i]), fmtSeconds(r.ContendedTime[i]), r.Slowdown(i))
+	}
+	lo, hi := r.Spread()
+	fmt.Fprintf(&b, "  per-phase slowdown spans %.2fx .. %.2fx under one interference type\n", lo, hi)
+	return b.String()
+}
+
+// CSV emits the rows.
+func (r *PhaseStudyResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("phase,alone_s,contended_s,slowdown\n")
+	for i, p := range r.Phases {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f\n", p,
+			sim.ToSeconds(r.BaselineTime[i]), sim.ToSeconds(r.ContendedTime[i]), r.Slowdown(i))
+	}
+	return b.String()
+}
+
+// PhaseStudy reproduces §II-A's closing observation: one application that
+// chronologically runs the seven IO500 tasks experiences per-phase slowdowns
+// spanning more than an order of magnitude under a single interference type
+// (the paper quotes 1.0x to 40.9x under ior-hard-write).
+func PhaseStudy(cfg PhaseStudyConfig) *PhaseStudyResult {
+	cfg.applyDefaults()
+	mk := func() *workload.Sequence {
+		var gens []workload.Generator
+		for _, task := range io500.AllTasks() {
+			gens = append(gens, io500.New(task, io500.Params{
+				Dir:           "/phase-" + task.String(),
+				Ranks:         cfg.Ranks,
+				EasyFileBytes: cfg.Scale.Bytes(32 << 20),
+				HardOps:       cfg.Scale.Count(300),
+				MdtFiles:      cfg.Scale.Count(200),
+			}))
+		}
+		return workload.NewSequence("io500-sequence", gens...)
+	}
+
+	run := func(seq *workload.Sequence, interf []core.InterferenceSpec) []sim.Time {
+		res := core.Run(core.Scenario{
+			Target:       core.TargetSpec{Gen: seq, Nodes: targetNodes, Ranks: cfg.Ranks},
+			Interference: interf,
+			MaxTime:      cfg.MaxTime,
+		})
+		perPhase := make([]sim.Time, seq.Phases())
+		for _, rec := range res.Records {
+			perPhase[seq.PhaseOf(rec.Rank, rec.Seq)] += rec.Duration()
+		}
+		return perPhase
+	}
+
+	interfTask := cfg.Interference
+	if !cfg.interfSet && interfTask == io500.IorEasyRead {
+		// Default: the paper's ior-hard-write example. (IorEasyRead is the
+		// zero Task value; an explicit IorEasyRead via WithInterference
+		// keeps it.)
+		interfTask = io500.IorHardWrite
+	}
+	baseSeq := mk()
+	base := run(baseSeq, nil)
+	contSeq := mk()
+	specs := IO500Instances(interfTask, cfg.Instances, 6,
+		interferenceParams(cfg.Scale), "/phasebg")
+	contended := run(contSeq, specs)
+
+	res := &PhaseStudyResult{
+		Interference:  interfTask.String(),
+		BaselineTime:  base,
+		ContendedTime: contended,
+	}
+	for _, t := range io500.AllTasks() {
+		res.Phases = append(res.Phases, t.String())
+	}
+	return res
+}
+
+// WithInterference fixes the interference task explicitly (including
+// ior-easy-read, which is otherwise the ambiguous zero value).
+func (c PhaseStudyConfig) WithInterference(t io500.Task) PhaseStudyConfig {
+	c.Interference = t
+	c.interfSet = true
+	return c
+}

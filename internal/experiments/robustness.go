@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/stats"
+)
+
+// RobustnessResult reports accuracy/F1 variation across random seeds (split
+// and initialization), a check the paper's single-split numbers lack.
+type RobustnessResult struct {
+	Seeds      []int64
+	Accuracies []float64
+	F1s        []float64
+}
+
+// MeanAccuracy and friends summarize the runs.
+func (r *RobustnessResult) MeanAccuracy() float64 { return stats.Mean(r.Accuracies) }
+func (r *RobustnessResult) StdAccuracy() float64  { return stats.Std(r.Accuracies) }
+func (r *RobustnessResult) MeanF1() float64       { return stats.Mean(r.F1s) }
+func (r *RobustnessResult) StdF1() float64        { return stats.Std(r.F1s) }
+
+// Render summarizes mean ± std.
+func (r *RobustnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness over %d seeds:\n", len(r.Seeds))
+	fmt.Fprintf(&b, "  accuracy %.3f ± %.3f\n", r.MeanAccuracy(), r.StdAccuracy())
+	fmt.Fprintf(&b, "  F1       %.3f ± %.3f\n", r.MeanF1(), r.StdF1())
+	for i, s := range r.Seeds {
+		fmt.Fprintf(&b, "    seed %-6d accuracy %.3f  F1 %.3f\n", s, r.Accuracies[i], r.F1s[i])
+	}
+	return b.String()
+}
+
+// CSV emits one row per seed.
+func (r *RobustnessResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("seed,accuracy,f1\n")
+	for i, s := range r.Seeds {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f\n", s, r.Accuracies[i], r.F1s[i])
+	}
+	fmt.Fprintf(&b, "mean,%.4f,%.4f\nstd,%.4f,%.4f\n",
+		r.MeanAccuracy(), r.MeanF1(), r.StdAccuracy(), r.StdF1())
+	return b.String()
+}
+
+// Robustness retrains the model on the same dataset with n different seeds
+// (each reshuffling the 80/20 split and the weight init) and collects the
+// held-out metrics.
+func Robustness(ds *dataset.Dataset, bins label.Bins, epochs, n int, baseSeed int64) *RobustnessResult {
+	if n <= 0 {
+		n = 5
+	}
+	res := &RobustnessResult{}
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)*101
+		ev := TrainEval(fmt.Sprintf("seed %d", seed), ds, bins, epochs, seed)
+		res.Seeds = append(res.Seeds, seed)
+		res.Accuracies = append(res.Accuracies, ev.Confusion.Accuracy())
+		f1 := ev.F1()
+		res.F1s = append(res.F1s, f1)
+	}
+	return res
+}

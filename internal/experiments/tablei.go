@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/par"
+	"quanterference/internal/plot"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+// TableIConfig controls the Table I reproduction.
+type TableIConfig struct {
+	// Scale shrinks workload volumes (default 1.0).
+	Scale Scale
+	// Instances is the number of concurrent interfering runs (the paper
+	// keeps 3 active).
+	Instances int
+	// RanksPerInstance sizes each interfering run (default 4).
+	RanksPerInstance int
+	// TargetRanks sizes the measured task (default 4).
+	TargetRanks int
+	// MaxTime caps each run (default 300 s).
+	MaxTime sim.Time
+}
+
+func (c *TableIConfig) applyDefaults() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Instances == 0 {
+		c.Instances = 3
+	}
+	if c.RanksPerInstance == 0 {
+		c.RanksPerInstance = 6
+	}
+	if c.TargetRanks == 0 {
+		c.TargetRanks = 4
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 300 * sim.Second
+	}
+}
+
+// TableIResult is the slowdown matrix.
+type TableIResult struct {
+	Tasks      []string
+	Standalone []sim.Time  // solo duration per task
+	Slowdown   [][]float64 // [target task][interference task]
+}
+
+// TableI reproduces the paper's Table I: each of the seven IO500 tasks run
+// standalone and against each task as looping background interference; every
+// cell is duration(interfered) / duration(standalone).
+func TableI(cfg TableIConfig) *TableIResult {
+	cfg.applyDefaults()
+	tasks := io500.AllTasks()
+	res := &TableIResult{
+		Standalone: make([]sim.Time, len(tasks)),
+		Slowdown:   make([][]float64, len(tasks)),
+	}
+	targetParams := io500.Params{
+		Dir:           "/target",
+		Ranks:         cfg.TargetRanks,
+		EasyFileBytes: cfg.Scale.Bytes(32 << 20),
+		HardOps:       cfg.Scale.Count(300),
+		MdtFiles:      cfg.Scale.Count(200),
+	}
+	for _, t := range tasks {
+		res.Tasks = append(res.Tasks, t.String())
+	}
+	// Every cell is an independent simulation: 7 standalone runs plus a
+	// 7x7 grid, fanned out across cores.
+	par.Map(len(tasks), func(i int) {
+		base := core.Run(targetScenario(tasks[i], targetParams, nil, cfg.MaxTime))
+		if !base.Finished {
+			panic(fmt.Sprintf("experiments: standalone %s exceeded MaxTime", tasks[i]))
+		}
+		res.Standalone[i] = base.Duration
+		res.Slowdown[i] = make([]float64, len(tasks))
+	})
+	n := len(tasks)
+	par.Map(n*n, func(k int) {
+		i, j := k/n, k%n
+		interf := tasks[j]
+		specs := IO500Instances(interf, cfg.Instances, cfg.RanksPerInstance,
+			interferenceParams(cfg.Scale), fmt.Sprintf("/bg-%s", interf))
+		run := core.Run(targetScenario(tasks[i], targetParams, specs, cfg.MaxTime))
+		res.Slowdown[i][j] = float64(run.Duration) / float64(res.Standalone[i])
+	})
+	return res
+}
+
+func targetScenario(task io500.Task, p io500.Params, interf []core.InterferenceSpec, maxTime sim.Time) core.Scenario {
+	return core.Scenario{
+		Target: core.TargetSpec{
+			Gen:   io500.New(task, p),
+			Nodes: targetNodes,
+			Ranks: p.Ranks,
+		},
+		Interference: interf,
+		MaxTime:      maxTime,
+	}
+}
+
+// Render draws the matrix like the paper's Table I.
+func (r *TableIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "task\\interference")
+	for _, t := range r.Tasks {
+		fmt.Fprintf(&b, "%16s", t)
+	}
+	fmt.Fprintf(&b, "%12s\n", "standalone")
+	for i, t := range r.Tasks {
+		fmt.Fprintf(&b, "%-16s", t)
+		for j := range r.Tasks {
+			fmt.Fprintf(&b, "%16.3f", r.Slowdown[i][j])
+		}
+		fmt.Fprintf(&b, "%12s\n", fmtSeconds(r.Standalone[i]))
+	}
+	return b.String()
+}
+
+// CSV emits the matrix for plotting.
+func (r *TableIResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("task")
+	for _, t := range r.Tasks {
+		b.WriteString("," + t)
+	}
+	b.WriteString(",standalone_s\n")
+	for i, t := range r.Tasks {
+		b.WriteString(t)
+		for j := range r.Tasks {
+			fmt.Fprintf(&b, ",%.4f", r.Slowdown[i][j])
+		}
+		fmt.Fprintf(&b, ",%.4f\n", sim.ToSeconds(r.Standalone[i]))
+	}
+	return b.String()
+}
+
+// MaxCell returns the most impacted (row, col, value) — the paper highlights
+// these per row.
+func (r *TableIResult) MaxCell() (task, interference string, slowdown float64) {
+	bi, bj := 0, 0
+	for i := range r.Slowdown {
+		for j := range r.Slowdown[i] {
+			if r.Slowdown[i][j] > r.Slowdown[bi][bj] {
+				bi, bj = i, j
+			}
+		}
+	}
+	return r.Tasks[bi], r.Tasks[bj], r.Slowdown[bi][bj]
+}
+
+// SVG renders the matrix as a log-shaded heatmap.
+func (r *TableIResult) SVG() string {
+	return plot.Heatmap("Table I: slowdown under cross-task interference",
+		r.Tasks, r.Tasks, r.Slowdown, 980, 420)
+}

@@ -1,0 +1,143 @@
+package label
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+func mkRec(rank, iter, seq int, start, dur sim.Time) workload.Record {
+	return workload.Record{
+		Rank: rank, Iter: iter, Seq: seq,
+		Op:    workload.Op{Kind: workload.Read, Size: 100},
+		Start: start, End: start + dur,
+	}
+}
+
+func TestDegradationAveraging(t *testing.T) {
+	base := []workload.Record{
+		mkRec(0, 0, 0, 0, 10*sim.Millisecond),
+		mkRec(0, 0, 1, 0, 10*sim.Millisecond),
+	}
+	l := New(base, sim.Second, 1)
+	interf := []workload.Record{
+		mkRec(0, 0, 0, sim.Millisecond, 20*sim.Millisecond),   // 2x
+		mkRec(0, 0, 1, 2*sim.Millisecond, 40*sim.Millisecond), // 4x
+	}
+	degs := l.Degradations(interf)
+	if d := degs[0]; d != 3 {
+		t.Fatalf("degradation=%f, want mean(2,4)=3", d)
+	}
+}
+
+func TestWindowPartitioning(t *testing.T) {
+	base := []workload.Record{
+		mkRec(0, 0, 0, 0, 10*sim.Millisecond),
+		mkRec(0, 0, 1, 0, 10*sim.Millisecond),
+	}
+	l := New(base, sim.Second, 1)
+	interf := []workload.Record{
+		mkRec(0, 0, 0, sim.Seconds(0.5), 10*sim.Millisecond), // window 0, 1x
+		mkRec(0, 0, 1, sim.Seconds(1.5), 50*sim.Millisecond), // window 1, 5x
+	}
+	degs := l.Degradations(interf)
+	if degs[0] != 1 || degs[1] != 5 {
+		t.Fatalf("degs=%v", degs)
+	}
+}
+
+func TestMinOpsFiltersSparseWindows(t *testing.T) {
+	base := []workload.Record{mkRec(0, 0, 0, 0, sim.Millisecond)}
+	l := New(base, sim.Second, 3)
+	interf := []workload.Record{mkRec(0, 0, 0, 0, sim.Millisecond)}
+	if degs := l.Degradations(interf); len(degs) != 0 {
+		t.Fatalf("sparse window should be dropped: %v", degs)
+	}
+}
+
+func TestUnmatchedOpsIgnored(t *testing.T) {
+	base := []workload.Record{mkRec(0, 0, 0, 0, 10*sim.Millisecond)}
+	l := New(base, sim.Second, 1)
+	interf := []workload.Record{
+		mkRec(0, 0, 0, 0, 20*sim.Millisecond), // matched, 2x
+		mkRec(1, 0, 5, 0, 90*sim.Millisecond), // no baseline counterpart
+	}
+	if l.Matched(interf) != 1 {
+		t.Fatalf("matched=%d", l.Matched(interf))
+	}
+	if d := l.Degradations(interf)[0]; d != 2 {
+		t.Fatalf("unmatched op contaminated label: %f", d)
+	}
+}
+
+func TestIterDistinguishesLoopIterations(t *testing.T) {
+	base := []workload.Record{
+		mkRec(0, 0, 0, 0, 10*sim.Millisecond),
+		mkRec(0, 1, 0, sim.Second, 30*sim.Millisecond),
+	}
+	l := New(base, sim.Second, 1)
+	interf := []workload.Record{mkRec(0, 1, 0, 0, 60*sim.Millisecond)}
+	if d := l.Degradations(interf)[0]; d != 2 {
+		t.Fatalf("iter matching broken: %f", d)
+	}
+}
+
+func TestBinaryBins(t *testing.T) {
+	b := BinaryBins()
+	if b.Classes() != 2 {
+		t.Fatalf("classes=%d", b.Classes())
+	}
+	cases := map[float64]int{0.5: 0, 1.0: 0, 1.99: 0, 2.0: 1, 5.0: 1, 40.9: 1}
+	for d, want := range cases {
+		if got := b.Label(d); got != want {
+			t.Fatalf("Label(%f)=%d, want %d", d, got, want)
+		}
+	}
+	if b.Name(0) != "<2x" || b.Name(1) != ">=2x" {
+		t.Fatalf("names %q %q", b.Name(0), b.Name(1))
+	}
+}
+
+func TestSeverityBins(t *testing.T) {
+	b := SeverityBins()
+	if b.Classes() != 3 {
+		t.Fatalf("classes=%d", b.Classes())
+	}
+	cases := map[float64]int{1.0: 0, 2.0: 1, 4.99: 1, 5.0: 2, 26.2: 2}
+	for d, want := range cases {
+		if got := b.Label(d); got != want {
+			t.Fatalf("Label(%f)=%d, want %d", d, got, want)
+		}
+	}
+	if b.Name(1) != "2-5x" || b.Name(2) != ">=5x" {
+		t.Fatalf("names %q %q", b.Name(1), b.Name(2))
+	}
+}
+
+// Property: labels are monotone in degradation and always within range.
+func TestPropertyBinsMonotone(t *testing.T) {
+	b := SeverityBins()
+	f := func(raw []uint16) bool {
+		last, lastD := 0, 0.0
+		for _, r := range raw {
+			d := float64(r) / 100
+			if d < lastD {
+				continue
+			}
+			l := b.Label(d)
+			if l < 0 || l >= b.Classes() {
+				return false
+			}
+			if d >= lastD && l < last {
+				return false
+			}
+			last, lastD = l, d
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+package lustre
+
+import (
+	"fmt"
+
+	"quanterference/internal/sim"
+)
+
+// Client is a compute node's Lustre client. All operations are asynchronous:
+// the completion callback fires when the operation finishes in simulated
+// time. A single Client may carry many application ranks; per-target RPC
+// concurrency is limited like the real client's max_rpcs_in_flight.
+type Client struct {
+	Node string
+
+	fs    *FS
+	slots []*sim.Resource // one per target (OSTs then MDT)
+	// bucket throttles bulk data when a QoS rule is set (see SetRateLimit).
+	bucket *tokenBucket
+}
+
+// Handle is an open file with its layout cached client-side, plus the
+// per-stream readahead state (cf. Lustre's per-file read-ahead windows).
+type Handle struct {
+	c   *Client
+	Ino *Inode
+
+	lastReadEnd int64
+	seqStreak   int
+	ra          map[int64]*raChunk // key: chunk start byte offset
+}
+
+// raChunk tracks one prefetched stripe-size chunk.
+type raChunk struct {
+	done    bool
+	end     int64
+	waiters []func()
+}
+
+func newClient(fs *FS, node string) *Client {
+	c := &Client{Node: node, fs: fs}
+	c.slots = make([]*sim.Resource, fs.NumTargets())
+	for i := range c.slots {
+		c.slots[i] = sim.NewResource(fs.Eng, fs.cfg.MaxRPCsInFlight)
+	}
+	return c
+}
+
+// metaRPC performs a metadata round trip to the MDS.
+func (c *Client) metaRPC(op MetaOp, path string, stripeCount int, done func(*Inode)) {
+	slot := c.slots[c.fs.MDTIndex()]
+	slot.Acquire(func() {
+		c.fs.Net.Transfer(c.Node, c.fs.mds.Node, c.fs.cfg.ReqMsgBytes, func() {
+			c.fs.mds.handle(op, path, stripeCount, func(ino *Inode) {
+				c.fs.Net.Transfer(c.fs.mds.Node, c.Node, c.fs.cfg.ReqMsgBytes, func() {
+					slot.Release()
+					done(ino)
+				})
+			})
+		})
+	})
+}
+
+// Create makes (or truncate-opens) a file with the given stripe count
+// (0 = file-system default) and returns an open handle.
+func (c *Client) Create(path string, stripeCount int, done func(*Handle)) {
+	c.metaRPC(MetaCreate, path, stripeCount, func(ino *Inode) {
+		done(&Handle{c: c, Ino: ino})
+	})
+}
+
+// Open opens an existing file.
+func (c *Client) Open(path string, done func(*Handle)) {
+	c.metaRPC(MetaOpen, path, 0, func(ino *Inode) {
+		done(&Handle{c: c, Ino: ino})
+	})
+}
+
+// Stat fetches attributes of an existing path.
+func (c *Client) Stat(path string, done func()) {
+	c.metaRPC(MetaStat, path, 0, func(*Inode) { done() })
+}
+
+// Close closes a handle.
+func (c *Client) Close(h *Handle, done func()) {
+	c.metaRPC(MetaClose, h.Ino.Path, 0, func(*Inode) { done() })
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string, done func()) {
+	c.metaRPC(MetaUnlink, path, 0, func(*Inode) { done() })
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string, done func()) {
+	c.metaRPC(MetaMkdir, path, 0, func(*Inode) { done() })
+}
+
+// chunk is one per-OST piece of a striped byte range.
+type chunk struct {
+	ost    int   // OST id
+	objOff int64 // object-local byte offset
+	length int64
+}
+
+// chunks splits a file byte range into per-OST object ranges (RAID0).
+func (h *Handle) chunks(off, length int64) []chunk {
+	ino := h.Ino
+	if ino.Dir {
+		panic("lustre: data op on directory " + ino.Path)
+	}
+	if off < 0 || length <= 0 {
+		panic(fmt.Sprintf("lustre: bad range off=%d len=%d", off, length))
+	}
+	ss := ino.StripeSize
+	n := int64(len(ino.OSTs))
+	var out []chunk
+	cur := off
+	end := off + length
+	for cur < end {
+		unit := cur / ss        // global stripe unit index
+		within := cur - unit*ss // offset inside the unit
+		take := ss - within
+		if cur+take > end {
+			take = end - cur
+		}
+		stripe := unit % n
+		objUnit := unit / n // unit index within the object
+		out = append(out, chunk{
+			ost:    ino.OSTs[stripe],
+			objOff: objUnit*ss + within,
+			length: take,
+		})
+		cur += take
+	}
+	return out
+}
+
+// Targets returns the distinct OST ids a byte range touches, in stripe order.
+func (h *Handle) Targets(off, length int64) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, ch := range h.chunks(off, length) {
+		if !seen[ch.ost] {
+			seen[ch.ost] = true
+			out = append(out, ch.ost)
+		}
+	}
+	return out
+}
+
+// dataOp runs all chunks of a striped range concurrently, bounded by
+// per-target RPC slots, and fires done when the last chunk completes.
+func (c *Client) dataOp(h *Handle, off, length int64, write bool, done func()) {
+	chunks := h.chunks(off, length)
+	remaining := len(chunks)
+	complete := func() {
+		remaining--
+		if remaining == 0 {
+			if write && off+length > h.Ino.Size {
+				h.Ino.Size = off + length
+			}
+			done()
+		}
+	}
+	for _, ch := range chunks {
+		ch := ch
+		// Split chunks larger than the RPC size cap.
+		for sent := int64(0); sent < ch.length; {
+			take := ch.length - sent
+			if take > c.fs.cfg.MaxRPCBytes {
+				take = c.fs.cfg.MaxRPCBytes
+			}
+			if sent > 0 {
+				remaining++
+			}
+			c.rpc(h.Ino, ch.ost, ch.objOff+sent, take, write, complete)
+			sent += take
+		}
+	}
+}
+
+// rpc performs one bulk RPC to an OST.
+func (c *Client) rpc(ino *Inode, ostID int, objOff, length int64, write bool, done func()) {
+	if c.bucket != nil {
+		c.bucket.acquire(length, func() {
+			c.rpcUnthrottled(ino, ostID, objOff, length, write, done)
+		})
+		return
+	}
+	c.rpcUnthrottled(ino, ostID, objOff, length, write, done)
+}
+
+func (c *Client) rpcUnthrottled(ino *Inode, ostID int, objOff, length int64, write bool, done func()) {
+	fs := c.fs
+	ost := fs.osts[ostID]
+	slot := c.slots[ostID]
+	hdr := fs.cfg.ReqMsgBytes
+	slot.Acquire(func() {
+		finish := func() {
+			slot.Release()
+			done()
+		}
+		if write {
+			// Bulk data travels with the request; reply is a header.
+			fs.Net.Transfer(c.Node, ost.OSS.Node, hdr+length, func() {
+				ost.OSS.Threads.Acquire(func() {
+					fs.Eng.Schedule(fs.cfg.OSSOpCPU, func() {
+						ost.OSS.Threads.Release()
+						ost.write(ino.ObjID, objOff, length, func() {
+							fs.Net.Transfer(ost.OSS.Node, c.Node, hdr, finish)
+						})
+					})
+				})
+			})
+			return
+		}
+		// Read: small request, bulk reply after the disk fetch.
+		fs.Net.Transfer(c.Node, ost.OSS.Node, hdr, func() {
+			ost.OSS.Threads.Acquire(func() {
+				fs.Eng.Schedule(fs.cfg.OSSOpCPU, func() {
+					ost.read(ino.ObjID, objOff, length, func() {
+						ost.OSS.Threads.Release()
+						fs.Net.Transfer(ost.OSS.Node, c.Node, hdr+length, finish)
+					})
+				})
+			})
+		})
+	})
+}
+
+// Write stores length bytes at off, completing when the data is accepted by
+// every target's write-back cache (throttled when caches are full). Writing
+// through a handle drops its readahead cache.
+func (c *Client) Write(h *Handle, off, length int64, done func()) {
+	h.ra = nil
+	c.dataOp(h, off, length, true, done)
+}
+
+// Read fetches length bytes at off. Sequential streams (each read starting
+// where the previous ended) trigger readahead: the next ReadAheadChunks
+// stripe-size chunks are fetched in the background, and reads covered by
+// prefetched data complete as soon as the prefetch RPC lands. This is what
+// keeps several RPCs in flight per sequential stream, as on a real client.
+func (c *Client) Read(h *Handle, off, length int64, done func()) {
+	raChunks := int64(c.fs.cfg.ReadAheadChunks)
+	if raChunks == 0 {
+		c.dataOp(h, off, length, false, done)
+		return
+	}
+	if off == h.lastReadEnd {
+		h.seqStreak++
+	} else {
+		h.seqStreak = 0
+	}
+	h.lastReadEnd = off + length
+	// Readahead arms only after two back-to-back sequential reads (a
+	// ramp-up, like the kernel's), so a single accidental match — e.g.
+	// the first op of a strided pattern — doesn't prefetch megabytes.
+	sequential := h.seqStreak >= 1 && off > 0 || h.seqStreak >= 2
+
+	cs := h.Ino.StripeSize
+	firstChunk := (off / cs) * cs
+	lastChunk := ((off + length - 1) / cs) * cs
+
+	// Served by the readahead window?
+	covered := h.ra != nil
+	if covered {
+		for chunk := firstChunk; chunk <= lastChunk; chunk += cs {
+			e, ok := h.ra[chunk]
+			if !ok || e.end < min64ra(chunk+cs, off+length) {
+				covered = false
+				break
+			}
+		}
+	}
+	finish := func() {
+		h.trimRA(off + length)
+		done()
+	}
+	if covered {
+		pending := 0
+		onChunk := func() {
+			pending--
+			if pending == 0 {
+				finish()
+			}
+		}
+		for chunk := firstChunk; chunk <= lastChunk; chunk += cs {
+			if e := h.ra[chunk]; !e.done {
+				pending++
+				e.waiters = append(e.waiters, onChunk)
+			}
+		}
+		if pending == 0 {
+			// Entirely cache-resident: page-cache copy cost only.
+			c.fs.Eng.Schedule(c.fs.cfg.CacheHitTime, finish)
+		}
+	} else {
+		c.dataOp(h, off, length, false, finish)
+	}
+	if sequential {
+		h.extendRA(lastChunk+cs, raChunks)
+	}
+}
+
+func min64ra(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// extendRA issues prefetch RPCs for up to n chunks starting at from.
+func (h *Handle) extendRA(from, n int64) {
+	cs := h.Ino.StripeSize
+	if h.ra == nil {
+		h.ra = make(map[int64]*raChunk)
+	}
+	for k := int64(0); k < n; k++ {
+		chunk := from + k*cs
+		if chunk >= h.Ino.Size {
+			return
+		}
+		if _, ok := h.ra[chunk]; ok {
+			continue
+		}
+		length := cs
+		if chunk+length > h.Ino.Size {
+			length = h.Ino.Size - chunk
+		}
+		e := &raChunk{end: chunk + length}
+		h.ra[chunk] = e
+		h.c.dataOp(h, chunk, length, false, func() {
+			e.done = true
+			for _, w := range e.waiters {
+				w()
+			}
+			e.waiters = nil
+		})
+	}
+}
+
+// trimRA drops fully consumed chunks behind the stream position.
+func (h *Handle) trimRA(consumed int64) {
+	for chunk, e := range h.ra {
+		if e.done && e.end <= consumed {
+			delete(h.ra, chunk)
+		}
+	}
+}

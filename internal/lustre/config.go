@@ -1,0 +1,168 @@
+// Package lustre implements a discrete-event model of a Lustre-like parallel
+// file system: a metadata server (MDS) with its metadata target (MDT), object
+// storage servers (OSS) each holding object storage targets (OSTs), and
+// clients that stripe file data across OSTs and issue RPCs over the shared
+// network.
+//
+// The model reproduces the mechanisms behind the paper's observed
+// interference patterns:
+//
+//   - competing streams on one OST turn sequential disk access into
+//     seek-bound access (Table I, read-vs-read);
+//   - OSS write-back caching with read-priority dispatch makes reads hurt
+//     writes far more than writes hurt reads (Table I asymmetry);
+//   - metadata-heavy workloads contend on MDS service threads, the MDT
+//     journal, and the server inode cache (Table I, mdt rows/columns);
+//   - all bulk data shares per-node NIC bandwidth max-min fairly.
+package lustre
+
+import "quanterference/internal/sim"
+
+// Config holds file-system-wide tunables. The zero value models the paper's
+// testbed: Lustre 2.12 defaults on 7200 RPM SATA disks and 1 Gb/s Ethernet.
+type Config struct {
+	// StripeSize is the striping unit (default 1 MiB).
+	StripeSize int64
+	// DefaultStripeCount is the number of OSTs a new file is striped over
+	// when Create does not override it (default 1, the Lustre default).
+	DefaultStripeCount int
+	// MaxRPCBytes caps the bulk payload of a single OST RPC
+	// (default 1 MiB, matching max_pages_per_rpc).
+	MaxRPCBytes int64
+	// MaxRPCsInFlight limits concurrent RPCs per client per target
+	// (default 8, matching max_rpcs_in_flight).
+	MaxRPCsInFlight int
+	// OSSThreads is the service-thread count per OSS (default 16).
+	OSSThreads int
+	// MDSThreads is the effective metadata-service parallelism (default 4,
+	// matching the testbed MDS's physical cores — metadata handling is
+	// CPU-bound, so cores, not Lustre's nominal thread count, set the
+	// real concurrency).
+	MDSThreads int
+	// OSSOpCPU is the CPU time an OSS thread spends per bulk RPC
+	// (default 50 µs).
+	OSSOpCPU sim.Time
+	// MDSOpCPU is the CPU time per metadata operation (default 200 µs).
+	MDSOpCPU sim.Time
+	// MDTJournalSectors is the journal write size per namespace-mutating
+	// metadata op (default 8 sectors = 4 KiB).
+	MDTJournalSectors int64
+	// InodeCacheEntries sizes the MDS inode/dentry cache (default 4096).
+	// Misses cost a random MDT read.
+	InodeCacheEntries int
+	// InodeReadSectors is the MDT read size on a cache miss (default 8).
+	InodeReadSectors int64
+	// WritebackLimit is the per-OST dirty-data cap in bytes (default
+	// 16 MiB). Writes beyond it throttle to the disk drain rate. The
+	// default is scaled to this package's scaled-down workloads the same
+	// way real servers' dirty limits relate to real IO500 volumes
+	// (roughly a tenth of what one benchmark phase writes).
+	WritebackLimit int64
+	// FlushBatch is how many dirty extents the flusher keeps outstanding
+	// in the block queue (default 16), enabling merging.
+	FlushBatch int
+	// ReadAheadChunks is how many stripe-size chunks the client prefetches
+	// ahead of a detected sequential read stream (default 4, standing in
+	// for Lustre's max_read_ahead_mb; -1 disables). Readahead keeps
+	// several RPCs in flight per stream, which is what makes competing
+	// sequential readers saturate the disks.
+	ReadAheadChunks int
+	// CacheHitTime is the client-side cost of serving a read from already-
+	// prefetched data (default 100 µs: page-cache copy + syscall).
+	CacheHitTime sim.Time
+	// ReqMsgBytes is the size of RPC request/response headers (default 1 KiB).
+	ReqMsgBytes int64
+	// Seed feeds all derived RNGs.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.StripeSize == 0 {
+		c.StripeSize = 1 << 20
+	}
+	if c.DefaultStripeCount == 0 {
+		c.DefaultStripeCount = 1
+	}
+	if c.MaxRPCBytes == 0 {
+		c.MaxRPCBytes = 1 << 20
+	}
+	if c.MaxRPCsInFlight == 0 {
+		c.MaxRPCsInFlight = 8
+	}
+	if c.OSSThreads == 0 {
+		c.OSSThreads = 16
+	}
+	if c.MDSThreads == 0 {
+		c.MDSThreads = 4
+	}
+	if c.OSSOpCPU == 0 {
+		c.OSSOpCPU = 50 * sim.Microsecond
+	}
+	if c.MDSOpCPU == 0 {
+		c.MDSOpCPU = 200 * sim.Microsecond
+	}
+	if c.MDTJournalSectors == 0 {
+		c.MDTJournalSectors = 8
+	}
+	if c.InodeCacheEntries == 0 {
+		c.InodeCacheEntries = 4096
+	}
+	if c.InodeReadSectors == 0 {
+		c.InodeReadSectors = 8
+	}
+	if c.WritebackLimit == 0 {
+		c.WritebackLimit = 16 << 20
+	}
+	if c.FlushBatch == 0 {
+		c.FlushBatch = 16
+	}
+	if c.ReadAheadChunks == 0 {
+		c.ReadAheadChunks = 4
+	}
+	if c.ReadAheadChunks < 0 {
+		c.ReadAheadChunks = 0
+	}
+	if c.CacheHitTime == 0 {
+		c.CacheHitTime = 100 * sim.Microsecond
+	}
+	if c.ReqMsgBytes == 0 {
+		c.ReqMsgBytes = 1024
+	}
+}
+
+// OSSSpec describes one object storage server.
+type OSSSpec struct {
+	Node string // network node name
+	OSTs int    // number of object storage targets on this server
+}
+
+// Topology describes the cluster layout. The paper's testbed is the zero
+// value returned by PaperTopology.
+type Topology struct {
+	MDSNode string
+	OSS     []OSSSpec
+	Clients []string
+	// NICBps is the per-direction NIC speed for nodes this FS registers
+	// on the network (0 = the network's default).
+	NICBps float64
+}
+
+// PaperNICBps is the testbed's "1 GB/s network interface" (§IV). Table I's
+// 29-41x slowdowns require the rotational disks (~150 MB/s), not the NICs,
+// to be the contended resource, so this is one gigabyte per second.
+const PaperNICBps = 1e9
+
+// PaperTopology returns the evaluation cluster from §IV: one MGS/MDS node,
+// three OSS nodes with two OSTs each, and seven client nodes.
+func PaperTopology() Topology {
+	return Topology{
+		MDSNode: "mds",
+		OSS: []OSSSpec{
+			{Node: "oss0", OSTs: 2},
+			{Node: "oss1", OSTs: 2},
+			{Node: "oss2", OSTs: 2},
+		},
+		Clients: []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6"},
+		NICBps:  PaperNICBps,
+	}
+}

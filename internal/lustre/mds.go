@@ -1,0 +1,227 @@
+package lustre
+
+import (
+	"container/list"
+	"fmt"
+
+	"quanterference/internal/blockqueue"
+	"quanterference/internal/disk"
+	"quanterference/internal/sim"
+)
+
+// MetaOp enumerates metadata operation kinds.
+type MetaOp int
+
+const (
+	MetaCreate MetaOp = iota
+	MetaOpen
+	MetaStat
+	MetaClose
+	MetaUnlink
+	MetaMkdir
+)
+
+var metaOpNames = [...]string{"create", "open", "stat", "close", "unlink", "mkdir"}
+
+func (m MetaOp) String() string { return metaOpNames[m] }
+
+// Inode is a file or directory record. Clients cache Inodes in Handles so
+// data RPCs can be routed without re-consulting the MDS.
+type Inode struct {
+	Path       string
+	Dir        bool
+	Size       int64
+	StripeSize int64
+	OSTs       []int  // stripe order
+	ObjID      uint64 // per-OST object key
+
+	inodeSector int64
+}
+
+// MDSStats are cumulative metadata-server counters.
+type MDSStats struct {
+	Ops         uint64
+	CacheHits   uint64
+	CacheMisses uint64
+	JournalOps  uint64
+}
+
+// MDS is the metadata server with its metadata target (MDT).
+type MDS struct {
+	Node    string
+	Threads *sim.Resource
+
+	eng *sim.Engine
+	cfg *Config
+	q   *blockqueue.Queue
+
+	namespace map[string]*Inode
+	lru       *list.List               // most-recent at front; values are paths
+	lruIndex  map[string]*list.Element // path -> element
+
+	journalLen  int64
+	journalHead int64
+	tableBase   int64
+	tableLen    int64
+	nextInode   int64
+	nextObj     uint64
+	nextOST     int
+
+	nOSTs int
+	stats MDSStats
+	// destroyObjects releases a removed file's OST objects (set by FS).
+	destroyObjects func(*Inode)
+}
+
+func newMDS(eng *sim.Engine, cfg *Config, node string, nOSTs int, seed int64) *MDS {
+	d := disk.New(eng, disk.Config{Seed: seed})
+	q := blockqueue.New(eng, d, blockqueue.Config{
+		Scheduler:    blockqueue.Elevator,
+		ReadPriority: true,
+	})
+	const journalLen = 512 << 10 // 256 MiB of journal in sectors
+	return &MDS{
+		Node:       node,
+		Threads:    sim.NewResource(eng, cfg.MDSThreads),
+		eng:        eng,
+		cfg:        cfg,
+		q:          q,
+		namespace:  make(map[string]*Inode),
+		lru:        list.New(),
+		lruIndex:   make(map[string]*list.Element),
+		journalLen: journalLen,
+		tableBase:  journalLen,
+		tableLen:   (int64(1) << 31) - journalLen,
+		nOSTs:      nOSTs,
+	}
+}
+
+// Queue exposes the MDT request queue for the server-side monitor.
+func (m *MDS) Queue() *blockqueue.Queue { return m.q }
+
+// Stats returns cumulative counters.
+func (m *MDS) Stats() MDSStats { return m.stats }
+
+// Lookup returns the inode for path, or nil. It does not simulate any time;
+// use Client metadata ops for timed access.
+func (m *MDS) Lookup(path string) *Inode { return m.namespace[path] }
+
+// cacheTouch marks path as recently used, evicting the LRU entry if the
+// cache is over capacity. Returns whether the path was already cached.
+func (m *MDS) cacheTouch(path string) bool {
+	if el, ok := m.lruIndex[path]; ok {
+		m.lru.MoveToFront(el)
+		return true
+	}
+	m.lruIndex[path] = m.lru.PushFront(path)
+	for m.lru.Len() > m.cfg.InodeCacheEntries {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.lruIndex, back.Value.(string))
+	}
+	return false
+}
+
+func (m *MDS) cacheDrop(path string) {
+	if el, ok := m.lruIndex[path]; ok {
+		m.lru.Remove(el)
+		delete(m.lruIndex, path)
+	}
+}
+
+// journalWrite appends to the (circular) journal; sequential by design.
+func (m *MDS) journalWrite(done func()) {
+	m.stats.JournalOps++
+	sectors := m.cfg.MDTJournalSectors
+	if m.journalHead+sectors > m.journalLen {
+		m.journalHead = 0
+	}
+	at := m.journalHead
+	m.journalHead += sectors
+	m.q.Submit(disk.Write, at, sectors, done)
+}
+
+// inodeRead fetches an inode record from the table (a cache miss).
+func (m *MDS) inodeRead(ino *Inode, done func()) {
+	m.stats.CacheMisses++
+	m.q.Submit(disk.Read, ino.inodeSector, m.cfg.InodeReadSectors, done)
+}
+
+// allocInode creates a namespace entry with a striped layout.
+func (m *MDS) allocInode(path string, dir bool, stripeCount int) *Inode {
+	if stripeCount <= 0 {
+		stripeCount = m.cfg.DefaultStripeCount
+	}
+	if stripeCount > m.nOSTs {
+		stripeCount = m.nOSTs
+	}
+	m.nextInode++
+	m.nextObj++
+	ino := &Inode{
+		Path:       path,
+		Dir:        dir,
+		StripeSize: m.cfg.StripeSize,
+		ObjID:      m.nextObj,
+		inodeSector: m.tableBase +
+			(m.nextInode*m.cfg.InodeReadSectors)%m.tableLen,
+	}
+	if !dir {
+		ino.OSTs = make([]int, stripeCount)
+		for i := 0; i < stripeCount; i++ {
+			ino.OSTs[i] = (m.nextOST + i) % m.nOSTs
+		}
+		m.nextOST = (m.nextOST + 1) % m.nOSTs
+	}
+	m.namespace[path] = ino
+	return ino
+}
+
+// handle services one metadata RPC after it has arrived at the server.
+// reply receives the resulting inode (nil for unlink).
+func (m *MDS) handle(op MetaOp, path string, stripeCount int, reply func(*Inode)) {
+	m.Threads.Acquire(func() {
+		m.stats.Ops++
+		finish := func(ino *Inode) {
+			m.Threads.Release()
+			reply(ino)
+		}
+		m.eng.Schedule(m.cfg.MDSOpCPU, func() {
+			switch op {
+			case MetaCreate, MetaMkdir:
+				ino, ok := m.namespace[path]
+				if !ok {
+					ino = m.allocInode(path, op == MetaMkdir, stripeCount)
+				}
+				m.cacheTouch(path)
+				m.journalWrite(func() { finish(ino) })
+			case MetaOpen, MetaStat:
+				ino, ok := m.namespace[path]
+				if !ok {
+					panic(fmt.Sprintf("lustre: %s of missing path %q", op, path))
+				}
+				if m.cacheTouch(path) {
+					m.stats.CacheHits++
+					finish(ino)
+					return
+				}
+				m.inodeRead(ino, func() { finish(ino) })
+			case MetaClose:
+				// Attribute updates are asynchronous in Lustre; CPU only.
+				finish(m.namespace[path])
+			case MetaUnlink:
+				ino, ok := m.namespace[path]
+				if !ok {
+					panic(fmt.Sprintf("lustre: unlink of missing path %q", path))
+				}
+				delete(m.namespace, path)
+				m.cacheDrop(path)
+				if m.destroyObjects != nil && !ino.Dir {
+					m.destroyObjects(ino)
+				}
+				m.journalWrite(func() { finish(nil) })
+			default:
+				panic("lustre: unknown metadata op")
+			}
+		})
+	})
+}

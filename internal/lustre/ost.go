@@ -1,0 +1,251 @@
+package lustre
+
+import (
+	"fmt"
+	"sort"
+
+	"quanterference/internal/blockqueue"
+	"quanterference/internal/disk"
+	"quanterference/internal/sim"
+)
+
+// extent maps a run of an object's logical sectors to physical sectors.
+type extent struct {
+	logOff int64 // logical start, in sectors
+	length int64 // in sectors
+	sector int64 // physical start
+}
+
+// object is one file's stripe component on an OST.
+type object struct {
+	extents []extent // sorted by logOff, non-overlapping
+}
+
+// run is a physical disk range.
+type run struct {
+	sector int64
+	length int64
+}
+
+// dirtyExtent is write-back data awaiting flush.
+type dirtyExtent struct {
+	run
+	bytes int64 // original payload bytes accounted against the dirty limit
+}
+
+type writeWaiter struct {
+	bytes int64
+	runs  []run
+	done  func()
+}
+
+// OSS is one object storage server: a network node, a service-thread pool,
+// and its OSTs.
+type OSS struct {
+	Node    string
+	Threads *sim.Resource
+	OSTs    []*OST
+}
+
+// OST is one object storage target: a disk with its request queue, an object
+// allocator, and a write-back cache.
+type OST struct {
+	ID  int
+	OSS *OSS
+
+	eng *sim.Engine
+	cfg *Config
+	q   *blockqueue.Queue
+
+	objects    map[uint64]*object
+	nextSector int64
+
+	dirtyBytes    int64
+	dirtyExtents  []dirtyExtent
+	flushInFlight int
+	waiters       []writeWaiter
+
+	// Cumulative stats for monitors and tests.
+	writesAdmitted  uint64
+	writesThrottled uint64
+}
+
+func newOST(eng *sim.Engine, cfg *Config, id int, oss *OSS, seed int64) *OST {
+	d := disk.New(eng, disk.Config{Seed: seed})
+	q := blockqueue.New(eng, d, blockqueue.Config{
+		Scheduler:    blockqueue.Elevator,
+		ReadPriority: true,
+		// Favour reads strongly: real servers absorb writes in RAM and
+		// flush opportunistically, which is why the paper's readers are
+		// barely affected by write interference (Table I row 1).
+		WriteStarveLimit: 8,
+	})
+	return &OST{
+		ID: id, OSS: oss, eng: eng, cfg: cfg, q: q,
+		objects: make(map[uint64]*object),
+	}
+}
+
+// Queue exposes the request queue for the server-side monitor.
+func (o *OST) Queue() *blockqueue.Queue { return o.q }
+
+// DirtyBytes reports the current write-back cache occupancy.
+func (o *OST) DirtyBytes() int64 { return o.dirtyBytes }
+
+// ThrottledWrites reports how many write RPCs had to wait for cache space.
+func (o *OST) ThrottledWrites() uint64 { return o.writesThrottled }
+
+func (o *OST) object(id uint64) *object {
+	obj, ok := o.objects[id]
+	if !ok {
+		obj = &object{}
+		o.objects[id] = obj
+	}
+	return obj
+}
+
+// mapRange translates an object's logical sector range to physical runs,
+// allocating space for any holes. Allocation is append-style (like ldiskfs
+// block allocation under streaming writes): consecutive logical extents of
+// one object land physically adjacent, while interleaved objects fragment.
+func (o *OST) mapRange(objID uint64, startSec, nSec int64) []run {
+	if nSec <= 0 {
+		panic(fmt.Sprintf("lustre: empty range on ost %d", o.ID))
+	}
+	obj := o.object(objID)
+	var runs []run
+	cur := startSec
+	end := startSec + nSec
+	for cur < end {
+		// Last extent starting at or before cur.
+		i := sort.Search(len(obj.extents), func(k int) bool {
+			return obj.extents[k].logOff > cur
+		}) - 1
+		if i >= 0 {
+			e := obj.extents[i]
+			if cur < e.logOff+e.length {
+				// Inside an allocated extent: in-place.
+				n := e.logOff + e.length - cur
+				if cur+n > end {
+					n = end - cur
+				}
+				runs = append(runs, run{sector: e.sector + (cur - e.logOff), length: n})
+				cur += n
+				continue
+			}
+		}
+		// Hole: allocate up to the next extent or range end.
+		gapEnd := end
+		if i+1 < len(obj.extents) && obj.extents[i+1].logOff < gapEnd {
+			gapEnd = obj.extents[i+1].logOff
+		}
+		n := gapEnd - cur
+		phys := o.nextSector
+		o.nextSector += n
+		// Merge with predecessor when logically and physically contiguous.
+		if i >= 0 {
+			e := &obj.extents[i]
+			if e.logOff+e.length == cur && e.sector+e.length == phys {
+				e.length += n
+				runs = append(runs, run{sector: phys, length: n})
+				cur += n
+				continue
+			}
+		}
+		obj.extents = append(obj.extents, extent{})
+		copy(obj.extents[i+2:], obj.extents[i+1:])
+		obj.extents[i+1] = extent{logOff: cur, length: n, sector: phys}
+		runs = append(runs, run{sector: phys, length: n})
+		cur += n
+	}
+	return runs
+}
+
+// sectorRange converts a byte range to (startSector, sectorCount).
+func sectorRange(off, length int64) (int64, int64) {
+	start := off / disk.SectorSize
+	end := (off + length + disk.SectorSize - 1) / disk.SectorSize
+	return start, end - start
+}
+
+// write lands payload bytes for an object range: admit into the write-back
+// cache (throttling if full), then complete; flushing happens in the
+// background with read priority at the block queue. Admission is FIFO: once
+// any write is waiting for cache space, later writes — however small — queue
+// behind it, which is what lets saturating bulk writers starve small-file
+// writers (Table I, mdt-hard-write row).
+func (o *OST) write(objID uint64, off, length int64, done func()) {
+	startSec, nSec := sectorRange(off, length)
+	runs := o.mapRange(objID, startSec, nSec)
+	if len(o.waiters) > 0 ||
+		(o.dirtyBytes > 0 && o.dirtyBytes+length > o.cfg.WritebackLimit) {
+		o.writesThrottled++
+		o.waiters = append(o.waiters, writeWaiter{bytes: length, runs: runs, done: done})
+		return
+	}
+	o.admit(length, runs, done)
+}
+
+// admit does the unconditional cache bookkeeping; callers check space.
+func (o *OST) admit(bytes int64, runs []run, done func()) {
+	o.writesAdmitted++
+	o.dirtyBytes += bytes
+	per := bytes / int64(len(runs)) // attribute payload evenly across runs
+	rem := bytes - per*int64(len(runs))
+	for i, r := range runs {
+		b := per
+		if i == 0 {
+			b += rem
+		}
+		o.dirtyExtents = append(o.dirtyExtents, dirtyExtent{run: r, bytes: b})
+	}
+	o.scheduleFlush()
+	done()
+}
+
+func (o *OST) scheduleFlush() {
+	for o.flushInFlight < o.cfg.FlushBatch && len(o.dirtyExtents) > 0 {
+		ext := o.dirtyExtents[0]
+		o.dirtyExtents = o.dirtyExtents[1:]
+		o.flushInFlight++
+		o.q.Submit(disk.Write, ext.sector, ext.length, func() {
+			o.flushInFlight--
+			o.dirtyBytes -= ext.bytes
+			o.wakeWaiters()
+			o.scheduleFlush()
+		})
+	}
+}
+
+func (o *OST) wakeWaiters() {
+	for len(o.waiters) > 0 {
+		w := o.waiters[0]
+		if o.dirtyBytes > 0 && o.dirtyBytes+w.bytes > o.cfg.WritebackLimit {
+			return
+		}
+		o.waiters = o.waiters[1:]
+		o.admit(w.bytes, w.runs, w.done)
+	}
+}
+
+// read fetches an object range from disk, completing when all runs arrive.
+func (o *OST) read(objID uint64, off, length int64, done func()) {
+	startSec, nSec := sectorRange(off, length)
+	runs := o.mapRange(objID, startSec, nSec)
+	remaining := len(runs)
+	for _, r := range runs {
+		o.q.Submit(disk.Read, r.sector, r.length, func() {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+// populate lays out an object's range instantly (no simulated time), for
+// pre-creating files that read-only workloads consume.
+func (o *OST) populate(objID uint64, off, length int64) {
+	startSec, nSec := sectorRange(off, length)
+	o.mapRange(objID, startSec, nSec)
+}

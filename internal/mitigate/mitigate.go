@@ -1,0 +1,142 @@
+// Package mitigate closes the loop the paper motivates: its conclusion
+// positions quantitative interference prediction as the missing input for
+// "more effective I/O interference mitigation strategies". This package is
+// one such strategy — a controller that watches the online predictor and,
+// when the model says the protected application's I/O is degraded by at
+// least the engage class, applies token-bucket rate limits (NRS-TBF style,
+// the paper's reference [13]) to the interfering clients; when predictions
+// stay clean it releases them.
+package mitigate
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/lustre"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// EngageClass is the minimum predicted class that triggers throttling
+	// (default 1: any >=2x prediction).
+	EngageClass int
+	// ThrottleBps is the per-client rate limit applied while engaged
+	// (default 10 MB/s).
+	ThrottleBps float64
+	// ReleaseAfter is how many consecutive clean windows end throttling
+	// (default 2, hysteresis against prediction flicker).
+	ReleaseAfter int
+}
+
+func (c *Config) applyDefaults() {
+	if c.EngageClass == 0 {
+		c.EngageClass = 1
+	}
+	if c.ThrottleBps == 0 {
+		c.ThrottleBps = 10e6
+	}
+	if c.ReleaseAfter == 0 {
+		c.ReleaseAfter = 2
+	}
+}
+
+// Action is one controller decision, for audit.
+type Action struct {
+	At       sim.Time
+	Window   int
+	Class    int
+	Engaged  bool // state after the decision
+	Switched bool // whether this decision changed the state
+}
+
+// Controller drives rate limits from per-window predictions.
+type Controller struct {
+	cfg     Config
+	fw      *core.Framework
+	victims []*lustre.Client
+
+	engaged bool
+	clean   int
+	actions []Action
+	mon     *core.LiveMonitor
+}
+
+// New attaches a controller to a live cluster. fw is the trained framework;
+// record must be wired into the protected workload's Runner.OnRecord (use
+// Record below); victims are the clients to throttle when interference is
+// predicted to hurt the protected application.
+func New(cl *core.Cluster, fw *core.Framework, victims []*lustre.Client, windowSize sim.Time, cfg Config) *Controller {
+	cfg.applyDefaults()
+	c := &Controller{cfg: cfg, fw: fw, victims: victims}
+	c.mon = core.AttachLive(cl, windowSize, func(idx int, mat window.Matrix) {
+		class, _ := fw.Predict(mat)
+		c.decide(cl.Eng.Now(), idx, class)
+	})
+	return c
+}
+
+// Record is the client-monitor hook for the protected workload.
+func (c *Controller) Record(rec workload.Record) { c.mon.Record(rec) }
+
+// decide applies the hysteresis policy.
+func (c *Controller) decide(now sim.Time, windowIdx, class int) {
+	switched := false
+	if class >= c.cfg.EngageClass {
+		c.clean = 0
+		if !c.engaged {
+			c.engaged = true
+			switched = true
+			for _, v := range c.victims {
+				v.SetRateLimit(c.cfg.ThrottleBps)
+			}
+		}
+	} else if c.engaged {
+		c.clean++
+		if c.clean >= c.cfg.ReleaseAfter {
+			c.engaged = false
+			switched = true
+			for _, v := range c.victims {
+				v.SetRateLimit(0)
+			}
+		}
+	}
+	c.actions = append(c.actions, Action{
+		At: now, Window: windowIdx, Class: class,
+		Engaged: c.engaged, Switched: switched,
+	})
+}
+
+// Engaged reports whether throttling is currently applied.
+func (c *Controller) Engaged() bool { return c.engaged }
+
+// Actions returns the decision log.
+func (c *Controller) Actions() []Action { return c.actions }
+
+// Stop detaches the controller and removes any active limits.
+func (c *Controller) Stop() {
+	c.mon.Stop()
+	if c.engaged {
+		c.engaged = false
+		for _, v := range c.victims {
+			v.SetRateLimit(0)
+		}
+	}
+}
+
+// Summary renders the decision log compactly.
+func (c *Controller) Summary() string {
+	var b strings.Builder
+	engagements := 0
+	for _, a := range c.actions {
+		if a.Switched && a.Engaged {
+			engagements++
+		}
+	}
+	fmt.Fprintf(&b, "%d windows judged, %d engagements, currently engaged=%v\n",
+		len(c.actions), engagements, c.engaged)
+	return b.String()
+}

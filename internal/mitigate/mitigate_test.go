@@ -1,0 +1,146 @@
+package mitigate
+
+import (
+	"testing"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/lustre"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/nn"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// thresholdModel is a deterministic, training-free ml.Model for tests: it
+// predicts class 1 whenever the first feature (cli_reads) of target 0
+// exceeds 5.
+type thresholdModel struct{}
+
+func (thresholdModel) Probs(vectors [][]float64) []float64 {
+	if vectors[0][0] > 5 {
+		return []float64{0.1, 0.9}
+	}
+	return []float64{0.9, 0.1}
+}
+func (m thresholdModel) Predict(vectors [][]float64) int {
+	p := m.Probs(vectors)
+	if p[1] > p[0] {
+		return 1
+	}
+	return 0
+}
+func (thresholdModel) LossAndGrad([][]float64, int, float64) float64 { return 0 }
+func (thresholdModel) Params() []nn.Param                            { return nil }
+
+// stubFramework wraps the threshold model with an identity scaler.
+func stubFramework() *core.Framework {
+	nFeat := window.NumFeatures
+	scaler := &dataset.Scaler{Mean: make([]float64, nFeat), Std: make([]float64, nFeat)}
+	for i := range scaler.Std {
+		scaler.Std[i] = 1
+	}
+	return &core.Framework{
+		Bins:   label.BinaryBins(),
+		Model:  thresholdModel{},
+		Scaler: scaler,
+	}
+}
+
+// readRecord fabricates one read record targeting OST 0 in the given window.
+func readRecord(windowIdx, seq int) workload.Record {
+	start := sim.Time(windowIdx)*sim.Second + sim.Time(seq+1)*sim.Millisecond
+	return workload.Record{
+		Workload: "t", Rank: 0, Seq: seq,
+		Op:    workload.Op{Kind: workload.Read, Size: 1 << 20},
+		Start: start, End: start + sim.Millisecond,
+		Targets: []int{0},
+	}
+}
+
+func TestControllerEngagesAndReleases(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	fw := stubFramework()
+	victim := cl.FS.Client("c1")
+	ctrl := New(cl, fw, []*lustre.Client{victim}, sim.Second, Config{
+		ThrottleBps: 1e6, ReleaseAfter: 2,
+	})
+	// Windows 0 and 1 look interfered (10 reads each); windows 2+ are
+	// clean (no records).
+	for w := 0; w < 2; w++ {
+		for s := 0; s < 10; s++ {
+			ctrl.Record(readRecord(w, s))
+		}
+	}
+	// Advance through window 1's boundary: controller must be engaged.
+	cl.Eng.RunUntil(sim.Seconds(2.5))
+	if !ctrl.Engaged() {
+		t.Fatalf("controller not engaged after hot windows: %+v", ctrl.Actions())
+	}
+	if !victim.RateLimited() {
+		t.Fatal("victim not rate limited while engaged")
+	}
+	// Two clean windows (2 and 3) must release it; one is not enough.
+	cl.Eng.RunUntil(sim.Seconds(3.5))
+	if !ctrl.Engaged() {
+		t.Fatal("released after a single clean window (hysteresis broken)")
+	}
+	cl.Eng.RunUntil(sim.Seconds(4.5))
+	if ctrl.Engaged() {
+		t.Fatal("controller should have released after two clean windows")
+	}
+	if victim.RateLimited() {
+		t.Fatal("victim still limited after release")
+	}
+	// Engagements counted once despite repeated hot windows.
+	engagements := 0
+	for _, a := range ctrl.Actions() {
+		if a.Switched && a.Engaged {
+			engagements++
+		}
+	}
+	if engagements != 1 {
+		t.Fatalf("engagements=%d, want 1", engagements)
+	}
+	ctrl.Stop()
+}
+
+func TestControllerReEngages(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	ctrl := New(cl, stubFramework(), []*lustre.Client{cl.FS.Client("c1")}, sim.Second,
+		Config{ReleaseAfter: 1})
+	// Hot window 0, clean 1, hot 2.
+	for s := 0; s < 10; s++ {
+		ctrl.Record(readRecord(0, s))
+		ctrl.Record(readRecord(2, s))
+	}
+	cl.Eng.RunUntil(sim.Seconds(3.5))
+	engagements := 0
+	for _, a := range ctrl.Actions() {
+		if a.Switched && a.Engaged {
+			engagements++
+		}
+	}
+	if engagements != 2 {
+		t.Fatalf("engagements=%d, want 2 (re-engage after release)", engagements)
+	}
+	ctrl.Stop()
+}
+
+func TestControllerStopRemovesLimits(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	victim := cl.FS.Client("c1")
+	ctrl := New(cl, stubFramework(), []*lustre.Client{victim}, sim.Second, Config{})
+	ctrl.decide(cl.Eng.Now(), 0, 1)
+	if !victim.RateLimited() {
+		t.Fatal("engage did not limit victim")
+	}
+	ctrl.Stop()
+	if victim.RateLimited() {
+		t.Fatal("Stop left the limit in place")
+	}
+	if ctrl.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+
+	"quanterference/internal/nn"
+	"quanterference/internal/sim"
+)
+
+// AttentionModel implements the paper's stated future direction ("other
+// possible network architectures, such as transformers"): a single-head
+// self-attention block over the per-server vectors.
+//
+// Each server vector is embedded by a shared network (like the kernel
+// model), the embeddings attend to each other — letting the model weigh,
+// say, a loaded OST against the application's activity on a different OST —
+// and the attended embeddings are mean-pooled into an MLP head. Unlike the
+// kernel and flat models, the architecture is permutation-equivariant over
+// servers up to the pooling, so it shares the kernel model's placement
+// invariance while modelling cross-server interactions explicitly.
+type AttentionModel struct {
+	Embed      *nn.Sequential // per-server vector -> d
+	Wq, Wk, Wv *nn.Dense      // d -> d projections
+	Head       *nn.Sequential // d -> classes
+
+	nTargets int
+	nFeat    int
+	d        int
+	classes  int
+}
+
+// AttentionConfig sizes the model.
+type AttentionConfig struct {
+	NTargets int
+	NFeat    int
+	Classes  int
+	// Dim is the embedding width (default 16).
+	Dim int
+	// EmbedHidden are the shared embedder's hidden sizes (default 32).
+	EmbedHidden []int
+	// HeadHidden are the classifier's hidden sizes (default 16).
+	HeadHidden []int
+	Seed       int64
+}
+
+// NewAttentionModel builds the model.
+func NewAttentionModel(cfg AttentionConfig) *AttentionModel {
+	if cfg.NTargets <= 0 || cfg.NFeat <= 0 || cfg.Classes < 2 {
+		panic("ml: bad attention model config")
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = 16
+	}
+	if cfg.EmbedHidden == nil {
+		cfg.EmbedHidden = []int{32}
+	}
+	if cfg.HeadHidden == nil {
+		cfg.HeadHidden = []int{16}
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xa77e)
+	eSizes := append([]int{cfg.NFeat}, cfg.EmbedHidden...)
+	eSizes = append(eSizes, cfg.Dim)
+	hSizes := append([]int{cfg.Dim}, cfg.HeadHidden...)
+	hSizes = append(hSizes, cfg.Classes)
+	return &AttentionModel{
+		Embed:    nn.MLP(rng, eSizes...),
+		Wq:       nn.NewDense(cfg.Dim, cfg.Dim, rng),
+		Wk:       nn.NewDense(cfg.Dim, cfg.Dim, rng),
+		Wv:       nn.NewDense(cfg.Dim, cfg.Dim, rng),
+		Head:     nn.MLP(rng, hSizes...),
+		nTargets: cfg.NTargets,
+		nFeat:    cfg.NFeat,
+		d:        cfg.Dim,
+		classes:  cfg.Classes,
+	}
+}
+
+// attnState caches one forward pass for the hand-written backward.
+type attnState struct {
+	q, k, v [][]float64 // n x d
+	attn    [][]float64 // n x n, row-softmaxed
+	logits  []float64
+}
+
+// forward computes logits, leaving layer caches in place for backward.
+func (m *AttentionModel) forward(vectors [][]float64) *attnState {
+	if len(vectors) != m.nTargets {
+		panic("ml: wrong target count")
+	}
+	n, d := m.nTargets, m.d
+	st := &attnState{
+		q: make([][]float64, n), k: make([][]float64, n), v: make([][]float64, n),
+		attn: make([][]float64, n),
+	}
+	// Shared embedding then Q/K/V projections, row by row (LIFO caches).
+	embedded := make([][]float64, n)
+	for i, x := range vectors {
+		embedded[i] = m.Embed.Forward(x)
+	}
+	for i := 0; i < n; i++ {
+		st.q[i] = m.Wq.Forward(embedded[i])
+	}
+	for i := 0; i < n; i++ {
+		st.k[i] = m.Wk.Forward(embedded[i])
+	}
+	for i := 0; i < n; i++ {
+		st.v[i] = m.Wv.Forward(embedded[i])
+	}
+	// Scaled dot-product attention.
+	invSqrt := 1 / math.Sqrt(float64(d))
+	for i := 0; i < n; i++ {
+		scores := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for a := 0; a < d; a++ {
+				s += st.q[i][a] * st.k[j][a]
+			}
+			scores[j] = s * invSqrt
+		}
+		st.attn[i] = nn.Softmax(scores)
+	}
+	// Z = A V, mean-pooled over rows.
+	pooled := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			aij := st.attn[i][j]
+			for a := 0; a < d; a++ {
+				pooled[a] += aij * st.v[j][a]
+			}
+		}
+	}
+	for a := range pooled {
+		pooled[a] /= float64(n)
+	}
+	st.logits = m.Head.Forward(pooled)
+	return st
+}
+
+// backward propagates dlogits through the attention block and all layers,
+// accumulating parameter gradients and consuming the forward caches.
+func (m *AttentionModel) backward(st *attnState, dlogits []float64) {
+	n, d := m.nTargets, m.d
+	dpooled := m.Head.Backward(dlogits)
+	// dZ[i][a] = dpooled[a]/n for every row i.
+	dZrow := make([]float64, d)
+	for a := 0; a < d; a++ {
+		dZrow[a] = dpooled[a] / float64(n)
+	}
+	// dV[j] = sum_i A[i][j] * dZ[i]; dA[i][j] = dZ[i] . V[j].
+	dV := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		dV[j] = make([]float64, d)
+	}
+	dS := make([][]float64, n) // gradient on pre-softmax scores
+	invSqrt := 1 / math.Sqrt(float64(d))
+	for i := 0; i < n; i++ {
+		dA := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for a := 0; a < d; a++ {
+				s += dZrow[a] * st.v[j][a]
+			}
+			dA[j] = s
+			aij := st.attn[i][j]
+			for a := 0; a < d; a++ {
+				dV[j][a] += aij * dZrow[a]
+			}
+		}
+		// Softmax backward: dS = (dA - (dA.A)) * A, scaled.
+		var dot float64
+		for j := 0; j < n; j++ {
+			dot += dA[j] * st.attn[i][j]
+		}
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = (dA[j] - dot) * st.attn[i][j] * invSqrt
+		}
+		dS[i] = row
+	}
+	// dQ[i] = sum_j dS[i][j] K[j]; dK[j] = sum_i dS[i][j] Q[i].
+	dQ := make([][]float64, n)
+	dK := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		dQ[i] = make([]float64, d)
+		dK[i] = make([]float64, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g := dS[i][j]
+			for a := 0; a < d; a++ {
+				dQ[i][a] += g * st.k[j][a]
+				dK[j][a] += g * st.q[i][a]
+			}
+		}
+	}
+	// Projections were forwarded Q rows, then K rows, then V rows: the
+	// per-layer caches are independent stacks, so each unwinds in reverse
+	// row order; the embedder's stack unwinds rows in reverse with the
+	// three projection contributions summed.
+	dEmbed := make([][]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		dEmbed[i] = m.Wv.Backward(dV[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		dx := m.Wk.Backward(dK[i])
+		for a := 0; a < d; a++ {
+			dEmbed[i][a] += dx[a]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		dx := m.Wq.Backward(dQ[i])
+		for a := 0; a < d; a++ {
+			dEmbed[i][a] += dx[a]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		m.Embed.Backward(dEmbed[i])
+	}
+}
+
+// Probs implements Model.
+func (m *AttentionModel) Probs(vectors [][]float64) []float64 {
+	st := m.forward(vectors)
+	m.backward(st, make([]float64, m.classes)) // drain caches
+	nn.ZeroGrads(m.Params())
+	return nn.Softmax(st.logits)
+}
+
+// Predict implements Model.
+func (m *AttentionModel) Predict(vectors [][]float64) int {
+	return argmax(m.Probs(vectors))
+}
+
+// LossAndGrad implements Model.
+func (m *AttentionModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
+	st := m.forward(vectors)
+	loss, dlogits := nn.SoftmaxCE(st.logits, label, weight)
+	m.backward(st, dlogits)
+	return loss
+}
+
+// Params implements Model.
+func (m *AttentionModel) Params() []nn.Param {
+	out := m.Embed.Params()
+	out = append(out, m.Wq.Params()...)
+	out = append(out, m.Wk.Params()...)
+	out = append(out, m.Wv.Params()...)
+	return append(out, m.Head.Params()...)
+}
+
+var _ Model = (*AttentionModel)(nil)

@@ -1,0 +1,196 @@
+// Package ml implements the paper's kernel-based classification model
+// (§III-C): a shared dense network applied independently to each per-server
+// vector, whose scalar outputs are concatenated and fed to a small MLP head
+// for multi-bin classification. It also provides a flat-MLP baseline (for
+// the architecture ablation), the training loop, and evaluation metrics
+// (confusion matrices, precision/recall/F1).
+package ml
+
+import (
+	"fmt"
+
+	"quanterference/internal/nn"
+	"quanterference/internal/sim"
+)
+
+// Model is a classifier over per-server vector matrices.
+type Model interface {
+	// Predict returns the argmax class for one window's matrix.
+	Predict(vectors [][]float64) int
+	// Probs returns the class distribution.
+	Probs(vectors [][]float64) []float64
+	// LossAndGrad accumulates parameter gradients for one sample and
+	// returns its weighted loss.
+	LossAndGrad(vectors [][]float64, label int, weight float64) float64
+	// Params exposes the trainable parameters.
+	Params() []nn.Param
+}
+
+// KernelModel is the paper's architecture. Because the kernel network's
+// weights are shared across servers, the model generalizes over which
+// subset of OSTs a file actually uses — the motivation given in §III-C.
+type KernelModel struct {
+	Kernel *nn.Sequential // per-server vector -> 1 scalar
+	Head   *nn.Sequential // nTargets scalars -> class logits
+
+	nTargets int
+	nFeat    int
+	classes  int
+}
+
+// KernelConfig sizes the model.
+type KernelConfig struct {
+	NTargets int
+	NFeat    int
+	Classes  int
+	// KernelHidden are the shared network's hidden sizes (default 32,16).
+	KernelHidden []int
+	// HeadHidden are the head's hidden sizes (default 16).
+	HeadHidden []int
+	Seed       int64
+}
+
+// NewKernelModel builds the model with He initialization.
+func NewKernelModel(cfg KernelConfig) *KernelModel {
+	if cfg.NTargets <= 0 || cfg.NFeat <= 0 || cfg.Classes < 2 {
+		panic("ml: bad kernel model config")
+	}
+	if cfg.KernelHidden == nil {
+		cfg.KernelHidden = []int{32, 16}
+	}
+	if cfg.HeadHidden == nil {
+		cfg.HeadHidden = []int{16}
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0x4b4e)
+	kSizes := append([]int{cfg.NFeat}, cfg.KernelHidden...)
+	kSizes = append(kSizes, 1)
+	hSizes := append([]int{cfg.NTargets}, cfg.HeadHidden...)
+	hSizes = append(hSizes, cfg.Classes)
+	return &KernelModel{
+		Kernel:   nn.MLP(rng, kSizes...),
+		Head:     nn.MLP(rng, hSizes...),
+		nTargets: cfg.NTargets,
+		nFeat:    cfg.NFeat,
+		classes:  cfg.Classes,
+	}
+}
+
+func (m *KernelModel) check(vectors [][]float64) {
+	if len(vectors) != m.nTargets {
+		panic(fmt.Sprintf("ml: %d vectors, want %d", len(vectors), m.nTargets))
+	}
+}
+
+// forward runs kernel-per-target then head, leaving caches in place.
+func (m *KernelModel) forward(vectors [][]float64) []float64 {
+	m.check(vectors)
+	z := make([]float64, m.nTargets)
+	for t, v := range vectors {
+		z[t] = m.Kernel.Forward(v)[0]
+	}
+	return m.Head.Forward(z)
+}
+
+// drain pops all forward caches after an inference-only pass.
+func (m *KernelModel) drain() {
+	m.Head.Backward(make([]float64, m.classes))
+	for t := 0; t < m.nTargets; t++ {
+		m.Kernel.Backward([]float64{0})
+	}
+	nn.ZeroGrads(m.Params())
+}
+
+// Probs implements Model.
+func (m *KernelModel) Probs(vectors [][]float64) []float64 {
+	logits := m.forward(vectors)
+	m.drain()
+	return nn.Softmax(logits)
+}
+
+// Predict implements Model.
+func (m *KernelModel) Predict(vectors [][]float64) int {
+	return argmax(m.Probs(vectors))
+}
+
+// LossAndGrad implements Model.
+func (m *KernelModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
+	logits := m.forward(vectors)
+	loss, dlogits := nn.SoftmaxCE(logits, label, weight)
+	dz := m.Head.Backward(dlogits)
+	// Kernel caches are a stack: backprop targets in reverse order.
+	for t := m.nTargets - 1; t >= 0; t-- {
+		m.Kernel.Backward([]float64{dz[t]})
+	}
+	return loss
+}
+
+// Params implements Model.
+func (m *KernelModel) Params() []nn.Param {
+	return append(m.Kernel.Params(), m.Head.Params()...)
+}
+
+// FlatModel is the ablation baseline: one MLP over the concatenation of all
+// per-server vectors, with no weight sharing across servers.
+type FlatModel struct {
+	Net      *nn.Sequential
+	nTargets int
+	nFeat    int
+	classes  int
+}
+
+// NewFlatModel builds the baseline with a comparable parameter budget.
+func NewFlatModel(nTargets, nFeat, classes int, hidden []int, seed int64) *FlatModel {
+	if hidden == nil {
+		hidden = []int{64, 16}
+	}
+	rng := sim.NewRNG(seed ^ 0xf1a7)
+	sizes := append([]int{nTargets * nFeat}, hidden...)
+	sizes = append(sizes, classes)
+	return &FlatModel{
+		Net:      nn.MLP(rng, sizes...),
+		nTargets: nTargets, nFeat: nFeat, classes: classes,
+	}
+}
+
+func (m *FlatModel) flatten(vectors [][]float64) []float64 {
+	x := make([]float64, 0, m.nTargets*m.nFeat)
+	for _, v := range vectors {
+		x = append(x, v...)
+	}
+	return x
+}
+
+// Probs implements Model.
+func (m *FlatModel) Probs(vectors [][]float64) []float64 {
+	logits := m.Net.Forward(m.flatten(vectors))
+	m.Net.Backward(make([]float64, m.classes))
+	nn.ZeroGrads(m.Net.Params())
+	return nn.Softmax(logits)
+}
+
+// Predict implements Model.
+func (m *FlatModel) Predict(vectors [][]float64) int { return argmax(m.Probs(vectors)) }
+
+// LossAndGrad implements Model.
+func (m *FlatModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
+	logits := m.Net.Forward(m.flatten(vectors))
+	loss, dlogits := nn.SoftmaxCE(logits, label, weight)
+	m.Net.Backward(dlogits)
+	return loss
+}
+
+// Params implements Model.
+func (m *FlatModel) Params() []nn.Param { return m.Net.Params() }
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+var _ Model = (*KernelModel)(nil)
+var _ Model = (*FlatModel)(nil)

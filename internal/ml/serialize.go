@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"quanterference/internal/nn"
+)
+
+// ModelSpec is the serialized form of a trained classifier: enough to
+// reconstruct the architecture and restore its weights.
+type ModelSpec struct {
+	Kind     string      `json:"kind"` // kernel, flat, attention
+	NTargets int         `json:"n_targets"`
+	NFeat    int         `json:"n_feat"`
+	Classes  int         `json:"classes"`
+	Seed     int64       `json:"seed"`
+	Weights  [][]float64 `json:"weights"`
+}
+
+// exportWeights snapshots every parameter tensor in Params order.
+func exportWeights(params []nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.W...)
+	}
+	return out
+}
+
+// importWeights restores a snapshot; shapes must match exactly.
+func importWeights(params []nn.Param, weights [][]float64) error {
+	if len(params) != len(weights) {
+		return fmt.Errorf("ml: weight count %d, model has %d tensors", len(weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(weights[i]) {
+			return fmt.Errorf("ml: tensor %d has %d weights, snapshot has %d",
+				i, len(p.W), len(weights[i]))
+		}
+		copy(p.W, weights[i])
+	}
+	return nil
+}
+
+// Snapshot captures a model's architecture and weights. The model must be
+// one of this package's concrete types.
+func Snapshot(m Model) (*ModelSpec, error) {
+	spec := &ModelSpec{Weights: exportWeights(m.Params())}
+	switch t := m.(type) {
+	case *KernelModel:
+		spec.Kind = "kernel"
+		spec.NTargets, spec.NFeat, spec.Classes = t.nTargets, t.nFeat, t.classes
+	case *FlatModel:
+		spec.Kind = "flat"
+		spec.NTargets, spec.NFeat, spec.Classes = t.nTargets, t.nFeat, t.classes
+	case *AttentionModel:
+		spec.Kind = "attention"
+		spec.NTargets, spec.NFeat, spec.Classes = t.nTargets, t.nFeat, t.classes
+	default:
+		return nil, fmt.Errorf("ml: cannot snapshot %T", m)
+	}
+	return spec, nil
+}
+
+// Restore rebuilds the model a Snapshot described.
+func Restore(spec *ModelSpec) (Model, error) {
+	var m Model
+	switch spec.Kind {
+	case "kernel":
+		m = NewKernelModel(KernelConfig{
+			NTargets: spec.NTargets, NFeat: spec.NFeat, Classes: spec.Classes, Seed: spec.Seed,
+		})
+	case "flat":
+		m = NewFlatModel(spec.NTargets, spec.NFeat, spec.Classes, nil, spec.Seed)
+	case "attention":
+		m = NewAttentionModel(AttentionConfig{
+			NTargets: spec.NTargets, NFeat: spec.NFeat, Classes: spec.Classes, Seed: spec.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", spec.Kind)
+	}
+	if err := importWeights(m.Params(), spec.Weights); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveModel writes a model snapshot as JSON.
+func SaveModel(m Model, path string) error {
+	spec, err := Snapshot(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewEncoder(f).Encode(spec)
+}
+
+// LoadModel reads a snapshot written by SaveModel.
+func LoadModel(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var spec ModelSpec
+	if err := json.NewDecoder(f).Decode(&spec); err != nil {
+		return nil, err
+	}
+	return Restore(&spec)
+}

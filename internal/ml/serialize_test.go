@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"path/filepath"
+	"testing"
+
+	"quanterference/internal/nn"
+)
+
+func modelsUnderTest() map[string]Model {
+	return map[string]Model{
+		"kernel":    NewKernelModel(KernelConfig{NTargets: 3, NFeat: 5, Classes: 2, Seed: 1}),
+		"flat":      NewFlatModel(3, 5, 2, nil, 1),
+		"attention": NewAttentionModel(AttentionConfig{NTargets: 3, NFeat: 5, Classes: 2, Seed: 1}),
+	}
+}
+
+func TestSaveLoadEveryKind(t *testing.T) {
+	vectors := [][]float64{{1, 0, -1, 2, 0.5}, {0, 1, 1, -2, 0}, {2, 2, 0, 0, 1}}
+	dir := t.TempDir()
+	for kind, m := range modelsUnderTest() {
+		// Train a step so weights differ from initialization.
+		m.LossAndGrad(vectors, 1, 1)
+		for _, p := range m.Params() {
+			for j := range p.W {
+				p.W[j] += 0.01 * p.G[j]
+				p.G[j] = 0
+			}
+		}
+		wantProbs := m.Probs(vectors)
+		path := filepath.Join(dir, kind+".json")
+		if err := SaveModel(m, path); err != nil {
+			t.Fatalf("%s: save: %v", kind, err)
+		}
+		got, err := LoadModel(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", kind, err)
+		}
+		gotProbs := got.Probs(vectors)
+		for i := range wantProbs {
+			if gotProbs[i] != wantProbs[i] {
+				t.Fatalf("%s: probs differ after round trip: %v vs %v",
+					kind, gotProbs, wantProbs)
+			}
+		}
+		spec, _ := Snapshot(got)
+		if spec.Kind != kind {
+			t.Fatalf("kind %q round-tripped as %q", kind, spec.Kind)
+		}
+	}
+}
+
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	m := NewKernelModel(KernelConfig{NTargets: 2, NFeat: 3, Classes: 2, Seed: 1})
+	spec, err := Snapshot(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Weights[0] = spec.Weights[0][:1]
+	if _, err := Restore(spec); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	spec2, _ := Snapshot(m)
+	spec2.Kind = "bogus"
+	if _, err := Restore(spec2); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestSnapshotRejectsForeignModel(t *testing.T) {
+	if _, err := Snapshot(fakeModel{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Predict([][]float64) int                       { return 0 }
+func (fakeModel) Probs([][]float64) []float64                   { return nil }
+func (fakeModel) LossAndGrad([][]float64, int, float64) float64 { return 0 }
+func (fakeModel) Params() []nn.Param                            { return nil }

@@ -1,0 +1,193 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/nn"
+	"quanterference/internal/sim"
+)
+
+// TrainConfig controls the training loop.
+type TrainConfig struct {
+	Epochs int     // default 60
+	Batch  int     // default 32
+	LR     float64 // default 1e-3
+	Seed   int64
+	// BalanceClasses weights each sample inversely to its class frequency
+	// (the datasets are imbalanced, e.g. DLIO is ~4:1 negative).
+	BalanceClasses bool
+	// Quiet suppresses the per-epoch progress callback.
+	OnEpoch func(epoch int, loss float64)
+}
+
+func (c *TrainConfig) applyDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+}
+
+// Train fits the model on the dataset with Adam and mini-batches.
+// It returns the final mean training loss.
+func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
+	cfg.applyDefaults()
+	if train.Len() == 0 {
+		panic("ml: empty training set")
+	}
+	weights := make([]float64, train.Classes)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if cfg.BalanceClasses {
+		counts := train.ClassCounts()
+		for c, n := range counts {
+			if n > 0 {
+				weights[c] = float64(train.Len()) / (float64(train.Classes) * float64(n))
+			}
+		}
+	}
+	opt := nn.NewAdam(cfg.LR)
+	rng := sim.NewRNG(cfg.Seed ^ 0x7a11)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(train.Len())
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for _, idx := range perm[start:end] {
+				s := train.Samples[idx]
+				epochLoss += m.LossAndGrad(s.Vectors, s.Label, weights[s.Label])
+			}
+			opt.Step(m.Params(), 1/float64(end-start))
+		}
+		lastLoss = epochLoss / float64(train.Len())
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastLoss)
+		}
+	}
+	return lastLoss
+}
+
+// Confusion is a square confusion matrix: M[true][pred].
+type Confusion struct {
+	M [][]int
+}
+
+// NewConfusion creates an empty matrix for n classes.
+func NewConfusion(n int) *Confusion {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	return &Confusion{M: m}
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(trueLabel, pred int) { c.M[trueLabel][pred]++ }
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.M {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy is the fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	correct := 0
+	for i := range c.M {
+		correct += c.M[i][i]
+	}
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision for one class: TP / (TP + FP).
+func (c *Confusion) Precision(class int) float64 {
+	tp := c.M[class][class]
+	col := 0
+	for i := range c.M {
+		col += c.M[i][class]
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(tp) / float64(col)
+}
+
+// Recall for one class: TP / (TP + FN).
+func (c *Confusion) Recall(class int) float64 {
+	tp := c.M[class][class]
+	row := 0
+	for _, v := range c.M[class] {
+		row += v
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(tp) / float64(row)
+}
+
+// F1 for one class.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages F1 over classes.
+func (c *Confusion) MacroF1() float64 {
+	var s float64
+	for i := range c.M {
+		s += c.F1(i)
+	}
+	return s / float64(len(c.M))
+}
+
+// Render draws the matrix with per-class P/R/F1, suitable for terminals.
+func (c *Confusion) Render(classNames []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "true\\pred")
+	for _, n := range classNames {
+		fmt.Fprintf(&b, "%10s", n)
+	}
+	fmt.Fprintf(&b, "%10s%10s%10s\n", "prec", "recall", "f1")
+	for i, row := range c.M {
+		fmt.Fprintf(&b, "%-10s", classNames[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%10d", v)
+		}
+		fmt.Fprintf(&b, "%10.3f%10.3f%10.3f\n", c.Precision(i), c.Recall(i), c.F1(i))
+	}
+	fmt.Fprintf(&b, "accuracy %.3f  macro-F1 %.3f  n=%d\n",
+		c.Accuracy(), c.MacroF1(), c.Total())
+	return b.String()
+}
+
+// Evaluate runs the model over a dataset and tallies the confusion matrix.
+func Evaluate(m Model, ds *dataset.Dataset) *Confusion {
+	c := NewConfusion(ds.Classes)
+	for _, s := range ds.Samples {
+		c.Add(s.Label, m.Predict(s.Vectors))
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+package clientmon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// FileProfile accumulates Darshan-POSIX-style per-file counters over a whole
+// run: cumulative op counts, bytes, time, and an access-size histogram —
+// the complement to the windowed metrics that feed the model.
+type FileProfile struct {
+	Path string
+
+	Reads, Writes, MetaOps int
+	BytesRead, BytesWrite  int64
+	IOTime                 sim.Time
+	MaxOpTime              sim.Time
+	FirstOp, LastOp        sim.Time
+
+	// SizeHistogram buckets data accesses by power-of-two size:
+	// bucket i counts accesses in [2^i, 2^(i+1)) bytes (i up to 30).
+	SizeHistogram [31]int
+}
+
+// Profiler aggregates per-file profiles from trace records.
+type Profiler struct {
+	files map[string]*FileProfile
+}
+
+// NewProfiler returns an empty profiler; wire Record into Runner.OnRecord
+// (it can share the hook with a windowed Monitor).
+func NewProfiler() *Profiler {
+	return &Profiler{files: make(map[string]*FileProfile)}
+}
+
+// Record ingests one operation.
+func (p *Profiler) Record(rec workload.Record) {
+	if !rec.Op.Kind.IsIO() || rec.Op.Path == "" {
+		return
+	}
+	f, ok := p.files[rec.Op.Path]
+	if !ok {
+		f = &FileProfile{Path: rec.Op.Path, FirstOp: rec.Start}
+		p.files[rec.Op.Path] = f
+	}
+	dur := rec.Duration()
+	f.IOTime += dur
+	if dur > f.MaxOpTime {
+		f.MaxOpTime = dur
+	}
+	if rec.Start < f.FirstOp {
+		f.FirstOp = rec.Start
+	}
+	if rec.End > f.LastOp {
+		f.LastOp = rec.End
+	}
+	switch rec.Op.Kind {
+	case workload.Read:
+		f.Reads++
+		f.BytesRead += rec.Op.Size
+		f.SizeHistogram[sizeBucket(rec.Op.Size)]++
+	case workload.Write:
+		f.Writes++
+		f.BytesWrite += rec.Op.Size
+		f.SizeHistogram[sizeBucket(rec.Op.Size)]++
+	default:
+		f.MetaOps++
+	}
+}
+
+// sizeBucket maps an access size to its power-of-two bucket.
+func sizeBucket(size int64) int {
+	b := 0
+	for size > 1 && b < 30 {
+		size >>= 1
+		b++
+	}
+	return b
+}
+
+// Files returns all profiles sorted by descending I/O time.
+func (p *Profiler) Files() []*FileProfile {
+	out := make([]*FileProfile, 0, len(p.files))
+	for _, f := range p.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IOTime != out[j].IOTime {
+			return out[i].IOTime > out[j].IOTime
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// File returns one path's profile, or nil.
+func (p *Profiler) File(path string) *FileProfile { return p.files[path] }
+
+// Render draws the top-n files like a darshan-parser summary.
+func (p *Profiler) Render(n int) string {
+	files := p.Files()
+	if n > 0 && len(files) > n {
+		files = files[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s%8s%8s%8s%12s%12s%12s\n",
+		"file", "reads", "writes", "meta", "MB read", "MB written", "io time")
+	for _, f := range files {
+		fmt.Fprintf(&b, "%-44s%8d%8d%8d%12.2f%12.2f%11.3fs\n",
+			truncPath(f.Path, 43), f.Reads, f.Writes, f.MetaOps,
+			float64(f.BytesRead)/1e6, float64(f.BytesWrite)/1e6,
+			sim.ToSeconds(f.IOTime))
+	}
+	return b.String()
+}
+
+// CommonAccessSize returns the most frequent power-of-two access bucket's
+// lower bound in bytes (0 if no data accesses).
+func (f *FileProfile) CommonAccessSize() int64 {
+	best, bestN := -1, 0
+	for i, n := range f.SizeHistogram {
+		if n > bestN {
+			best, bestN = i, n
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return 1 << best
+}
+
+func truncPath(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n+3:]
+}

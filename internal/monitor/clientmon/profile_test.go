@@ -1,0 +1,103 @@
+package clientmon
+
+import (
+	"strings"
+	"testing"
+
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+func profRec(kind workload.Kind, path string, size int64, start, dur sim.Time) workload.Record {
+	return workload.Record{
+		Op:    workload.Op{Kind: kind, Path: path, Size: size},
+		Start: start, End: start + dur, Targets: []int{0},
+	}
+}
+
+func TestProfilerAccumulates(t *testing.T) {
+	p := NewProfiler()
+	p.Record(profRec(workload.Open, "/f", 0, 0, sim.Millisecond))
+	p.Record(profRec(workload.Write, "/f", 1<<20, sim.Millisecond, 8*sim.Millisecond))
+	p.Record(profRec(workload.Write, "/f", 1<<20, 10*sim.Millisecond, 9*sim.Millisecond))
+	p.Record(profRec(workload.Read, "/f", 4096, 20*sim.Millisecond, 2*sim.Millisecond))
+	p.Record(profRec(workload.Close, "/f", 0, 23*sim.Millisecond, sim.Millisecond))
+	f := p.File("/f")
+	if f == nil {
+		t.Fatal("no profile")
+	}
+	if f.Reads != 1 || f.Writes != 2 || f.MetaOps != 2 {
+		t.Fatalf("counts %+v", f)
+	}
+	if f.BytesRead != 4096 || f.BytesWrite != 2<<20 {
+		t.Fatalf("bytes %+v", f)
+	}
+	if f.IOTime != 21*sim.Millisecond {
+		t.Fatalf("iotime %v", f.IOTime)
+	}
+	if f.MaxOpTime != 9*sim.Millisecond {
+		t.Fatalf("max %v", f.MaxOpTime)
+	}
+	if f.FirstOp != 0 || f.LastOp != 24*sim.Millisecond {
+		t.Fatalf("span %v..%v", f.FirstOp, f.LastOp)
+	}
+}
+
+func TestSizeHistogramBuckets(t *testing.T) {
+	p := NewProfiler()
+	p.Record(profRec(workload.Write, "/f", 1<<20, 0, 1)) // bucket 20
+	p.Record(profRec(workload.Write, "/f", 1<<20, 0, 1))
+	p.Record(profRec(workload.Read, "/f", 4096, 0, 1)) // bucket 12
+	f := p.File("/f")
+	if f.SizeHistogram[20] != 2 || f.SizeHistogram[12] != 1 {
+		t.Fatalf("histogram %v", f.SizeHistogram)
+	}
+	if f.CommonAccessSize() != 1<<20 {
+		t.Fatalf("common size %d", f.CommonAccessSize())
+	}
+}
+
+func TestSizeBucketEdges(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 3: 1, 4: 2, 4095: 11, 4096: 12, 1 << 30: 30, 1 << 40: 30}
+	for size, want := range cases {
+		if got := sizeBucket(size); got != want {
+			t.Fatalf("sizeBucket(%d)=%d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestFilesSortedByIOTime(t *testing.T) {
+	p := NewProfiler()
+	p.Record(profRec(workload.Write, "/cold", 1024, 0, sim.Millisecond))
+	p.Record(profRec(workload.Write, "/hot", 1024, 0, 50*sim.Millisecond))
+	files := p.Files()
+	if files[0].Path != "/hot" {
+		t.Fatalf("sort order: %s first", files[0].Path)
+	}
+}
+
+func TestProfilerIgnoresComputeAndPathless(t *testing.T) {
+	p := NewProfiler()
+	p.Record(workload.Record{Op: workload.Op{Kind: workload.Compute}})
+	p.Record(workload.Record{Op: workload.Op{Kind: workload.Read}}) // no path
+	if len(p.Files()) != 0 {
+		t.Fatal("profiled non-file ops")
+	}
+}
+
+func TestRenderTruncatesAndLimits(t *testing.T) {
+	p := NewProfiler()
+	long := "/very/long/path/that/definitely/exceeds/the/column/width/file.dat"
+	p.Record(profRec(workload.Write, long, 1024, 0, 2*sim.Millisecond))
+	p.Record(profRec(workload.Write, "/b", 1024, 0, sim.Millisecond))
+	out := p.Render(1)
+	if strings.Count(out, "\n") != 2 { // header + 1 row
+		t.Fatalf("render not limited:\n%s", out)
+	}
+	if strings.Contains(out, long) {
+		t.Fatal("long path not truncated")
+	}
+	if !strings.Contains(out, "...") {
+		t.Fatal("truncation marker missing")
+	}
+}

@@ -1,0 +1,158 @@
+// Package servermon is the server-side monitor of §III-B: an independent
+// sampler on each storage server that reads the block-layer counters once
+// per second (the analogue of scraping /proc/diskstats on a Lustre OSS/MDS)
+// and aggregates, per time window, the sum, mean, and standard deviation of
+// every per-second series in Table II:
+//
+//	I/O speed        — completed I/O requests;
+//	device metrics   — disk sectors read and written;
+//	read/write queue — requests queued, requests merged, total time requests
+//	                   have spent queued, and the queue-occupancy integral.
+package servermon
+
+import (
+	"sort"
+
+	"quanterference/internal/blockqueue"
+	"quanterference/internal/lustre"
+	"quanterference/internal/sim"
+	"quanterference/internal/stats"
+)
+
+// SeriesNames are the per-second series sampled for each target, in vector
+// order. Each contributes sum/mean/std to the feature vector.
+var SeriesNames = []string{
+	"srv_completed_ios",
+	"srv_sectors_read",
+	"srv_sectors_written",
+	"srv_reads_merged",
+	"srv_writes_merged",
+	"srv_queued_reqs",
+	"srv_queue_time",
+	"srv_weighted_queue_time",
+}
+
+// NumSeries is the number of per-second series per target.
+var NumSeries = len(SeriesNames)
+
+// NumFeatures is the length of one target's server feature vector
+// (sum, mean, std per series).
+var NumFeatures = 3 * NumSeries
+
+// FeatureNames labels the vector entries, in order.
+func FeatureNames() []string {
+	out := make([]string, 0, NumFeatures)
+	for _, s := range SeriesNames {
+		out = append(out, s+"_sum", s+"_mean", s+"_std")
+	}
+	return out
+}
+
+// sample is one second's deltas for one target.
+type sample [8]float64
+
+// Monitor samples all storage targets of a file system.
+type Monitor struct {
+	fs         *lustre.FS
+	windowSize sim.Time
+	period     sim.Time
+
+	prev    []blockqueue.Counters
+	current map[int][][]float64 // window -> per-target series matrix [target][sample index*series]
+	series  [][]sample          // per target, samples of the in-progress window
+	window  int
+
+	ticker *sim.Ticker
+}
+
+// New starts a monitor sampling every second (the paper's rate) and
+// aggregating into windows of windowSize (a multiple of one second).
+func New(fs *lustre.FS, windowSize sim.Time) *Monitor {
+	if windowSize < sim.Second || windowSize%sim.Second != 0 {
+		panic("servermon: window must be a positive multiple of 1s")
+	}
+	m := &Monitor{
+		fs:         fs,
+		windowSize: windowSize,
+		period:     sim.Second,
+		prev:       make([]blockqueue.Counters, fs.NumTargets()),
+		current:    make(map[int][][]float64),
+		series:     make([][]sample, fs.NumTargets()),
+	}
+	for t := range m.prev {
+		m.prev[t] = m.queue(t).Counters()
+	}
+	m.ticker = sim.NewTicker(fs.Eng, m.period, m.tick)
+	return m
+}
+
+// Stop halts sampling.
+func (m *Monitor) Stop() { m.ticker.Stop() }
+
+// WindowSize returns the aggregation period.
+func (m *Monitor) WindowSize() sim.Time { return m.windowSize }
+
+func (m *Monitor) queue(target int) *blockqueue.Queue {
+	if target == m.fs.MDTIndex() {
+		return m.fs.MDS().Queue()
+	}
+	return m.fs.OST(target).Queue()
+}
+
+func (m *Monitor) tick(now sim.Time) {
+	for t := range m.series {
+		c := m.queue(t).Counters()
+		p := m.prev[t]
+		m.prev[t] = c
+		m.series[t] = append(m.series[t], sample{
+			float64(c.ReadsCompleted - p.ReadsCompleted + c.WritesCompleted - p.WritesCompleted),
+			float64(c.SectorsRead - p.SectorsRead),
+			float64(c.SectorsWritten - p.SectorsWritten),
+			float64(c.ReadsMerged - p.ReadsMerged),
+			float64(c.WritesMerged - p.WritesMerged),
+			float64(c.InFlight),
+			sim.ToSeconds(c.ReadTime - p.ReadTime + c.WriteTime - p.WriteTime),
+			sim.ToSeconds(c.WeightedIOTime - p.WeightedIOTime),
+		})
+	}
+	// Window boundary?
+	if now%m.windowSize == 0 {
+		m.finalize()
+	}
+}
+
+// finalize folds the in-progress per-second samples into window vectors.
+func (m *Monitor) finalize() {
+	vectors := make([][]float64, len(m.series))
+	for t, samples := range m.series {
+		vec := make([]float64, 0, NumFeatures)
+		col := make([]float64, len(samples))
+		for s := 0; s < NumSeries; s++ {
+			for i, smp := range samples {
+				col[i] = smp[s]
+			}
+			vec = append(vec, stats.Sum(col), stats.Mean(col), stats.Std(col))
+		}
+		vectors[t] = vec
+		m.series[t] = m.series[t][:0]
+	}
+	m.current[m.window] = vectors
+	m.window++
+}
+
+// Window returns the per-target server feature vectors for the window, or
+// ok=false if the window has not been finalized.
+func (m *Monitor) Window(idx int) ([][]float64, bool) {
+	v, ok := m.current[idx]
+	return v, ok
+}
+
+// Windows lists finalized window indices, ascending.
+func (m *Monitor) Windows() []int {
+	out := make([]int, 0, len(m.current))
+	for idx := range m.current {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,56 @@
+// Package window assembles the per-server vectors of §III-C: for each time
+// window and each storage target, the concatenation of the target
+// application's client-side metrics toward that target with the target's
+// server-side metrics. The resulting [targets × features] matrix per window
+// is the input format of the kernel-based model.
+package window
+
+import (
+	"quanterference/internal/monitor/clientmon"
+	"quanterference/internal/monitor/servermon"
+)
+
+// NumFeatures is the per-target vector length.
+var NumFeatures = clientmon.NumFeatures + servermon.NumFeatures
+
+// FeatureNames labels the combined vector entries.
+func FeatureNames() []string {
+	return append(clientmon.FeatureNames(), servermon.FeatureNames()...)
+}
+
+// Matrix is one window's per-server vectors: [target][feature].
+type Matrix [][]float64
+
+// Assemble joins one window's client metrics and server vectors. Either side
+// may be nil (no client I/O, or monitor not yet finalized): missing parts
+// are zero-filled so the matrix shape stays fixed.
+func Assemble(nTargets int, client []clientmon.TargetMetrics, server [][]float64) Matrix {
+	m := make(Matrix, nTargets)
+	for t := 0; t < nTargets; t++ {
+		vec := make([]float64, 0, NumFeatures)
+		if client != nil {
+			vec = append(vec, client[t].Vector()...)
+		} else {
+			vec = append(vec, make([]float64, clientmon.NumFeatures)...)
+		}
+		if server != nil {
+			vec = append(vec, server[t]...)
+		} else {
+			vec = append(vec, make([]float64, servermon.NumFeatures)...)
+		}
+		m[t] = vec
+	}
+	return m
+}
+
+// Collect builds matrices for every window where the client monitor saw I/O,
+// pairing it with the same window's server vectors.
+func Collect(nTargets int, cm *clientmon.Monitor, sm *servermon.Monitor) map[int]Matrix {
+	out := make(map[int]Matrix)
+	for _, idx := range cm.Windows() {
+		cw, _ := cm.Window(idx)
+		sw, _ := sm.Window(idx)
+		out[idx] = Assemble(nTargets, cw, sw)
+	}
+	return out
+}

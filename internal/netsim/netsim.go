@@ -1,0 +1,290 @@
+// Package netsim models a cluster network as a set of per-node duplex links
+// joined by a non-blocking switch, with bandwidth shared max-min fairly among
+// concurrent transfers (a fluid-flow model). This reproduces the network
+// contention component of I/O interference: many clients pushing data at one
+// storage server divide that server's ingress NIC bandwidth.
+//
+// Each transfer occupies the sender's uplink and the receiver's downlink; its
+// instantaneous rate is its max-min fair share across both. Rates are
+// recomputed whenever a flow starts or finishes (the classic progressive-
+// filling algorithm), and the completion event is rescheduled accordingly.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"quanterference/internal/sim"
+)
+
+// Config describes the fabric.
+type Config struct {
+	// DefaultBps is the per-direction NIC bandwidth for nodes not
+	// explicitly configured (default 1 Gb/s = 125 MB/s, the paper's NICs).
+	DefaultBps float64
+	// Latency is the fixed one-way message latency (default 100 µs).
+	Latency sim.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.DefaultBps == 0 {
+		c.DefaultBps = 125e6
+	}
+	if c.Latency == 0 {
+		c.Latency = 100 * sim.Microsecond
+	}
+}
+
+// link is one direction of a node's NIC.
+type link struct {
+	name  string
+	cap   float64
+	flows map[*flow]struct{}
+}
+
+type node struct {
+	name string
+	up   *link
+	down *link
+	// Counters for the monitors.
+	bytesSent uint64
+	bytesRecv uint64
+}
+
+type flow struct {
+	id        uint64 // creation order, for deterministic completion order
+	src, dst  *node
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, recomputed on every change
+	done      func()
+}
+
+// NodeStats reports cumulative traffic through a node.
+type NodeStats struct {
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// Network is the fabric.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes map[string]*node
+	flows map[*flow]struct{}
+
+	lastAdvance sim.Time
+	gen         uint64 // invalidates stale completion events
+	nextFlowID  uint64
+}
+
+// New creates an empty network.
+func New(eng *sim.Engine, cfg Config) *Network {
+	cfg.applyDefaults()
+	return &Network{
+		eng:   eng,
+		cfg:   cfg,
+		nodes: make(map[string]*node),
+		flows: make(map[*flow]struct{}),
+	}
+}
+
+// AddNode registers a node; bps == 0 uses the default NIC speed.
+func (n *Network) AddNode(name string, bps float64) {
+	if _, ok := n.nodes[name]; ok {
+		panic("netsim: duplicate node " + name)
+	}
+	if bps == 0 {
+		bps = n.cfg.DefaultBps
+	}
+	n.nodes[name] = &node{
+		name: name,
+		up:   &link{name: name + "/up", cap: bps, flows: map[*flow]struct{}{}},
+		down: &link{name: name + "/down", cap: bps, flows: map[*flow]struct{}{}},
+	}
+}
+
+// HasNode reports whether the node exists.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.nodes[name]
+	return ok
+}
+
+// Stats returns cumulative per-node traffic counters.
+func (n *Network) Stats(name string) NodeStats {
+	nd := n.node(name)
+	return NodeStats{BytesSent: nd.bytesSent, BytesRecv: nd.bytesRecv}
+}
+
+// ActiveFlows returns the number of in-progress transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+func (n *Network) node(name string) *node {
+	nd, ok := n.nodes[name]
+	if !ok {
+		panic("netsim: unknown node " + name)
+	}
+	return nd
+}
+
+// Transfer moves bytes from src to dst, invoking done after the last byte
+// arrives (including the fixed latency). Zero-byte transfers model pure
+// control messages and cost one latency.
+func (n *Network) Transfer(src, dst string, bytes int64, done func()) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("netsim: negative transfer size %d", bytes))
+	}
+	if done == nil {
+		panic("netsim: nil completion")
+	}
+	s, d := n.node(src), n.node(dst)
+	if bytes == 0 || s == d {
+		n.eng.Schedule(n.cfg.Latency, done)
+		return
+	}
+	s.bytesSent += uint64(bytes)
+	d.bytesRecv += uint64(bytes)
+	n.nextFlowID++
+	f := &flow{id: n.nextFlowID, src: s, dst: d, remaining: float64(bytes), done: done}
+	n.advance()
+	n.flows[f] = struct{}{}
+	s.up.flows[f] = struct{}{}
+	d.down.flows[f] = struct{}{}
+	n.reschedule()
+}
+
+// advance drains remaining bytes at current rates up to now.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := sim.ToSeconds(now - n.lastAdvance)
+	n.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for f := range n.flows {
+		f.remaining -= f.rate * dt
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+}
+
+// recompute assigns max-min fair rates via progressive filling.
+func (n *Network) recompute() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		remCap   float64
+		unfrozen int
+	}
+	states := make(map[*link]*linkState)
+	touch := func(l *link) *linkState {
+		st, ok := states[l]
+		if !ok {
+			st = &linkState{remCap: l.cap}
+			states[l] = st
+		}
+		return st
+	}
+	unfrozen := make(map[*flow]struct{}, len(n.flows))
+	for f := range n.flows {
+		unfrozen[f] = struct{}{}
+		touch(f.src.up).unfrozen++
+		touch(f.dst.down).unfrozen++
+	}
+	for len(unfrozen) > 0 {
+		// Find the bottleneck link: minimum fair share.
+		var bottleneck *link
+		minShare := math.Inf(1)
+		for l, st := range states {
+			if st.unfrozen == 0 {
+				continue
+			}
+			share := st.remCap / float64(st.unfrozen)
+			if share < minShare {
+				minShare = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at minShare.
+		for f := range unfrozen {
+			if f.src.up != bottleneck && f.dst.down != bottleneck {
+				continue
+			}
+			f.rate = minShare
+			delete(unfrozen, f)
+			for _, l := range []*link{f.src.up, f.dst.down} {
+				st := states[l]
+				st.remCap -= minShare
+				if st.remCap < 0 {
+					st.remCap = 0
+				}
+				st.unfrozen--
+			}
+		}
+	}
+}
+
+// reschedule recomputes rates and arms the next completion event.
+func (n *Network) reschedule() {
+	n.recompute()
+	if len(n.flows) == 0 {
+		return
+	}
+	// Earliest completion among active flows.
+	soonest := math.Inf(1)
+	for f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		panic("netsim: active flows with zero aggregate rate")
+	}
+	delay := sim.Time(math.Ceil(soonest * float64(sim.Second)))
+	if delay < 1 {
+		delay = 1
+	}
+	n.gen++
+	gen := n.gen
+	n.eng.Schedule(delay, func() {
+		if gen != n.gen {
+			return // superseded by a later topology change
+		}
+		n.advance()
+		n.finishDrained()
+	})
+}
+
+// finishDrained completes flows whose bytes have drained and reschedules.
+func (n *Network) finishDrained() {
+	const eps = 1.0 // within one byte counts as done
+	var finished []*flow
+	for f := range n.flows {
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		}
+	}
+	// Map iteration order is random; completion order must be stable for
+	// the simulation to be reproducible.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	for _, f := range finished {
+		delete(n.flows, f)
+		delete(f.src.up.flows, f)
+		delete(f.dst.down.flows, f)
+	}
+	n.reschedule()
+	for _, f := range finished {
+		lat := n.cfg.Latency
+		done := f.done
+		n.eng.Schedule(lat, done)
+	}
+}

@@ -1,0 +1,224 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"quanterference/internal/sim"
+)
+
+func newNet(names ...string) (*sim.Engine, *Network) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{})
+	for _, name := range names {
+		n.AddNode(name, 0)
+	}
+	return eng, n
+}
+
+func TestSingleTransferTime(t *testing.T) {
+	eng, n := newNet("a", "b")
+	done := sim.Time(0)
+	n.Transfer("a", "b", 125_000_000, func() { done = eng.Now() }) // 1 s at 125 MB/s
+	eng.Run()
+	want := sim.Second + 100*sim.Microsecond
+	if diff := done - want; diff < -sim.Millisecond || diff > sim.Millisecond {
+		t.Fatalf("transfer finished at %d, want ~%d", done, want)
+	}
+}
+
+func TestZeroByteTransferCostsLatency(t *testing.T) {
+	eng, n := newNet("a", "b")
+	done := sim.Time(0)
+	n.Transfer("a", "b", 0, func() { done = eng.Now() })
+	eng.Run()
+	if done != 100*sim.Microsecond {
+		t.Fatalf("control message at %d, want 100us", done)
+	}
+}
+
+func TestTwoFlowsShareReceiverNIC(t *testing.T) {
+	// Two senders to one receiver: each gets half the receiver's downlink,
+	// so both take ~2x the solo time.
+	eng, n := newNet("a", "b", "dst")
+	var times []sim.Time
+	n.Transfer("a", "dst", 125_000_000, func() { times = append(times, eng.Now()) })
+	n.Transfer("b", "dst", 125_000_000, func() { times = append(times, eng.Now()) })
+	eng.Run()
+	for _, tt := range times {
+		if tt < sim.Seconds(1.9) || tt > sim.Seconds(2.1) {
+			t.Fatalf("shared transfer finished at %v, want ~2s", sim.ToSeconds(tt))
+		}
+	}
+}
+
+func TestIndependentPathsDontInterfere(t *testing.T) {
+	eng, n := newNet("a", "b", "c", "d")
+	var times []sim.Time
+	n.Transfer("a", "b", 125_000_000, func() { times = append(times, eng.Now()) })
+	n.Transfer("c", "d", 125_000_000, func() { times = append(times, eng.Now()) })
+	eng.Run()
+	for _, tt := range times {
+		if tt > sim.Seconds(1.1) {
+			t.Fatalf("independent transfer slowed: %v s", sim.ToSeconds(tt))
+		}
+	}
+}
+
+func TestShortFlowFinishesEarlyAndRatesRecover(t *testing.T) {
+	// A long flow shares with a short one; after the short flow drains the
+	// long one speeds back up, so total time < 2x solo.
+	eng, n := newNet("a", "b", "dst")
+	var longDone sim.Time
+	n.Transfer("a", "dst", 125_000_000, func() { longDone = eng.Now() })
+	n.Transfer("b", "dst", 12_500_000, func() {}) // 10% of the long flow
+	eng.Run()
+	// Long flow: shares for 0.2s (drains 12.5MB), then full rate for the
+	// remaining 100MB: ~0.2 + 0.8 = 1.1s total.
+	if longDone < sim.Seconds(1.05) || longDone > sim.Seconds(1.2) {
+		t.Fatalf("long flow finished at %v, want ~1.1s", sim.ToSeconds(longDone))
+	}
+}
+
+func TestHeterogeneousNICBottleneck(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{})
+	n.AddNode("fast", 250e6)
+	n.AddNode("slow", 25e6)
+	var done sim.Time
+	n.Transfer("fast", "slow", 25_000_000, func() { done = eng.Now() })
+	eng.Run()
+	if done < sim.Seconds(0.95) || done > sim.Seconds(1.1) {
+		t.Fatalf("bottleneck not respected: %v s", sim.ToSeconds(done))
+	}
+}
+
+func TestManyToOneFairness(t *testing.T) {
+	// 5 senders to one server: aggregate goodput equals the server NIC,
+	// finishing ~5x solo time.
+	eng, n := newNet("s1", "s2", "s3", "s4", "s5", "oss")
+	finished := 0
+	var last sim.Time
+	for _, s := range []string{"s1", "s2", "s3", "s4", "s5"} {
+		n.Transfer(s, "oss", 25_000_000, func() {
+			finished++
+			last = eng.Now()
+		})
+	}
+	eng.Run()
+	if finished != 5 {
+		t.Fatalf("finished=%d", finished)
+	}
+	if last < sim.Seconds(0.95) || last > sim.Seconds(1.1) {
+		t.Fatalf("5x25MB into 125MB/s NIC took %v s, want ~1s", sim.ToSeconds(last))
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	eng, n := newNet("a", "b")
+	n.Transfer("a", "b", 1000, func() {})
+	n.Transfer("a", "b", 500, func() {})
+	eng.Run()
+	if st := n.Stats("a"); st.BytesSent != 1500 || st.BytesRecv != 0 {
+		t.Fatalf("a stats %+v", st)
+	}
+	if st := n.Stats("b"); st.BytesRecv != 1500 {
+		t.Fatalf("b stats %+v", st)
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	_, n := newNet("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Transfer("a", "ghost", 10, func() {})
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	_, n := newNet("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddNode("a", 0)
+}
+
+// Property: all transfers complete, and total received bytes are conserved.
+func TestPropertyAllTransfersComplete(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		eng, n := newNet("c1", "c2", "c3", "srv")
+		rng := sim.NewRNG(42)
+		clients := []string{"c1", "c2", "c3"}
+		completed := 0
+		for _, sz := range sizes {
+			src := clients[rng.Intn(3)]
+			bytes := int64(sz) * 100
+			delay := sim.Time(rng.Intn(1000)) * sim.Microsecond
+			eng.Schedule(delay, func() {
+				n.Transfer(src, "srv", bytes, func() { completed++ })
+			})
+		}
+		eng.Run()
+		return completed == len(sizes) && n.ActiveFlows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a transfer sharing with background flows never finishes sooner
+// than it would alone.
+func TestPropertyContentionNeverSpeedsUp(t *testing.T) {
+	solo := func() sim.Time {
+		eng, n := newNet("a", "b", "dst")
+		var done sim.Time
+		n.Transfer("a", "dst", 50_000_000, func() { done = eng.Now() })
+		eng.Run()
+		return done
+	}()
+	f := func(bgRaw uint8) bool {
+		bg := int64(bgRaw)*100_000 + 1000
+		eng, n := newNet("a", "b", "dst")
+		var done sim.Time
+		n.Transfer("a", "dst", 50_000_000, func() { done = eng.Now() })
+		n.Transfer("b", "dst", bg, func() {})
+		eng.Run()
+		return done >= solo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() []sim.Time {
+		eng, n := newNet("c1", "c2", "c3", "srv")
+		var times []sim.Time
+		for i := 0; i < 10; i++ {
+			sz := int64(1_000_000 * (i + 1))
+			src := []string{"c1", "c2", "c3"}[i%3]
+			n.Transfer(src, "srv", sz, func() { times = append(times, eng.Now()) })
+		}
+		eng.Run()
+		return times
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different completion counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

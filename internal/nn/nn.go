@@ -1,0 +1,279 @@
+// Package nn is a small from-scratch neural-network library: dense layers,
+// ReLU, softmax cross-entropy, and the Adam optimizer — everything the
+// paper's kernel-based classification model needs, with hand-written
+// backpropagation and no external dependencies.
+//
+// Layers cache forward inputs on an internal stack, so a layer (or a whole
+// Sequential) can be applied several times within one computation — exactly
+// what the kernel-based model does when it applies the same shared network
+// to each per-server vector — as long as Backward calls happen in reverse
+// order of the Forwards.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"quanterference/internal/sim"
+)
+
+// Param couples a weight slice with its gradient accumulator.
+type Param struct {
+	W []float64
+	G []float64
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward computes the output for x and caches what Backward needs.
+	Forward(x []float64) []float64
+	// Backward consumes the most recent cached forward state (LIFO),
+	// accumulates parameter gradients, and returns dLoss/dx.
+	Backward(dy []float64) []float64
+	// Params exposes trainable parameters with their gradients.
+	Params() []Param
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	In, Out int
+	W, B    []float64
+	GW, GB  []float64
+
+	inputs [][]float64 // forward cache stack
+}
+
+// NewDense creates a dense layer with He-normal initialization.
+func NewDense(in, out int, rng *sim.RNG) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		GW: make([]float64, in*out),
+		GB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	for i := range d.W {
+		d.W[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, len(x)))
+	}
+	d.inputs = append(d.inputs, x)
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W[o*d.In : (o+1)*d.In]
+		s := d.B[o]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(d.inputs) == 0 {
+		panic("nn: dense backward without forward")
+	}
+	x := d.inputs[len(d.inputs)-1]
+	d.inputs = d.inputs[:len(d.inputs)-1]
+	dx := make([]float64, d.In)
+	for o, g := range dy {
+		row := d.W[o*d.In : (o+1)*d.In]
+		grow := d.GW[o*d.In : (o+1)*d.In]
+		d.GB[o] += g
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{{W: d.W, G: d.GW}, {W: d.B, G: d.GB}}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	masks [][]bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	mask := make([]bool, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			mask[i] = true
+		}
+	}
+	r.masks = append(r.masks, mask)
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	if len(r.masks) == 0 {
+		panic("nn: relu backward without forward")
+	}
+	mask := r.masks[len(r.masks)-1]
+	r.masks = r.masks[:len(r.masks)-1]
+	dx := make([]float64, len(dy))
+	for i, g := range dy {
+		if mask[i] {
+			dx[i] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a chain.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// MLP builds Dense+ReLU stacks with the given sizes; the final Dense has no
+// activation. sizes must have at least two entries (input, output).
+func MLP(rng *sim.RNG, sizes ...int) *Sequential {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(sizes); i++ {
+		layers = append(layers, NewDense(sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			layers = append(layers, &ReLU{})
+		}
+	}
+	return NewSequential(layers...)
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x []float64) []float64 {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dy []float64) []float64 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []Param {
+	var out []Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Softmax returns the normalized class distribution for logits.
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxCE returns the cross-entropy loss for the true label, and the
+// gradient with respect to the logits, optionally scaled by weight.
+func SoftmaxCE(logits []float64, label int, weight float64) (float64, []float64) {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("nn: label %d out of range %d", label, len(logits)))
+	}
+	probs := Softmax(logits)
+	p := probs[label]
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	loss := -math.Log(p) * weight
+	grad := make([]float64, len(logits))
+	for i, q := range probs {
+		grad[i] = q * weight
+	}
+	grad[label] -= weight
+	return loss, grad
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam creates an optimizer with standard defaults for unset fields.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to the parameters using their accumulated
+// gradients multiplied by scale (e.g. 1/batchSize), then zeroes gradients.
+func (a *Adam) Step(params []Param, scale float64) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.W))
+			a.v[i] = make([]float64, len(p.W))
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			p.W[j] -= a.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.Eps)
+			p.G[j] = 0
+		}
+	}
+}
+
+// ZeroGrads clears accumulated gradients without an update.
+func ZeroGrads(params []Param) {
+	for _, p := range params {
+		for j := range p.G {
+			p.G[j] = 0
+		}
+	}
+}

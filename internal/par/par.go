@@ -1,0 +1,55 @@
+// Package par runs independent simulations concurrently. Each simulated
+// cluster is confined to one goroutine (the discrete-event engine is
+// single-threaded by design), but whole runs share nothing, so experiment
+// drivers fan out across cores — a Table I regeneration is 50 independent
+// simulations.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map invokes worker(i) for i in [0, n), running up to Workers() of them
+// concurrently, and returns when all complete. Workers must not share
+// mutable state except through their index-addressed result slots.
+func Map(n int, worker func(i int)) {
+	if n <= 0 {
+		return
+	}
+	limit := Workers()
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			worker(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				worker(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Workers is the concurrency limit (GOMAXPROCS, at least 1).
+func Workers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

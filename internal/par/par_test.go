@@ -1,0 +1,66 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]bool, 100)
+	Map(100, func(i int) {
+		atomic.AddInt64(&count, 1)
+		seen[i] = true // index-addressed slot: no race
+	})
+	if count != 100 {
+		t.Fatalf("ran %d/100", count)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d skipped", i)
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	ran := false
+	Map(0, func(int) { ran = true })
+	Map(-5, func(int) { ran = true })
+	if ran {
+		t.Fatal("worker ran for empty input")
+	}
+}
+
+func TestMapSingle(t *testing.T) {
+	got := -1
+	Map(1, func(i int) { got = i })
+	if got != 0 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatal("workers < 1")
+	}
+}
+
+// Property: results written to index-addressed slots are complete and
+// correct for any n.
+func TestPropertyMapCompleteness(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)
+		out := make([]int, n)
+		Map(n, func(i int) { out[i] = i * i })
+		for i := 0; i < n; i++ {
+			if out[i] != i*i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

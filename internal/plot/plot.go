@@ -1,0 +1,262 @@
+// Package plot renders the experiment results as standalone SVG files —
+// the equivalent of the original artifact's generate_eval_results.py
+// producing .png figures — using only the standard library.
+//
+// Three chart types cover every element of the paper: line charts for
+// Figure 1's per-operation latency series, heatmaps for Table I's slowdown
+// matrix, and shaded confusion matrices for Figures 3-5.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a line chart.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// palette holds distinguishable line colours.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+}
+
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 44
+)
+
+type canvas struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{w: w, h: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *canvas) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (c *canvas) line(x1, y1, x2, y2 float64, color string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, color, width)
+}
+
+func (c *canvas) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (c *canvas) path(points []point, color string) {
+	var d strings.Builder
+	for i, p := range points {
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&d, "%s%.1f %.1f ", cmd, p.x, p.y)
+	}
+	fmt.Fprintf(&c.b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+		strings.TrimSpace(d.String()), color)
+}
+
+func (c *canvas) done() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+type point struct{ x, y float64 }
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+// niceTicks picks ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// LineChart renders one panel with X = sample index.
+func LineChart(title, xlabel, ylabel string, series []Series, w, h int) string {
+	c := newCanvas(w, h)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	maxY, maxN := 0.0, 0
+	for _, s := range series {
+		if len(s.Ys) > maxN {
+			maxN = len(s.Ys)
+		}
+		for _, y := range s.Ys {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if maxN < 2 {
+		maxN = 2
+	}
+	xOf := func(i int) float64 {
+		return marginL + plotW*float64(i)/float64(maxN-1)
+	}
+	yOf := func(v float64) float64 {
+		return marginT + plotH*(1-v/maxY)
+	}
+
+	// Axes, ticks, grid.
+	c.text(float64(w)/2, 20, 14, "middle", title)
+	c.line(marginL, marginT, marginL, marginT+plotH, "#333", 1)
+	c.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#333", 1)
+	for _, tv := range niceTicks(0, maxY, 5) {
+		y := yOf(tv)
+		c.line(marginL, y, marginL+plotW, y, "#eee", 1)
+		c.text(marginL-6, y+4, 10, "end", trimFloat(tv))
+	}
+	for _, tv := range niceTicks(0, float64(maxN-1), 6) {
+		x := xOf(int(tv))
+		c.text(x, marginT+plotH+14, 10, "middle", trimFloat(tv))
+	}
+	c.text(float64(w)/2, float64(h)-8, 11, "middle", xlabel)
+	c.text(14, marginT-10, 11, "start", ylabel)
+
+	// Series and legend.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		pts := make([]point, len(s.Ys))
+		for i, y := range s.Ys {
+			pts[i] = point{x: xOf(i), y: yOf(y)}
+		}
+		c.path(pts, color)
+		lx := marginL + 10 + float64(si%3)*plotW/3
+		ly := marginT + 14 + float64(si/3)*14
+		c.line(lx, ly-4, lx+18, ly-4, color, 2)
+		c.text(lx+22, ly, 10, "start", s.Name)
+	}
+	return c.done()
+}
+
+// heatColor maps t in [0,1] from white to deep red.
+func heatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	r := 255
+	g := int(255 * (1 - 0.85*t))
+	b := int(255 * (1 - 0.9*t))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// Heatmap renders a labelled matrix; cell colour follows log2(value) so
+// both 1.2x and 40x cells are readable, and each cell carries its number.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64, w, h int) string {
+	c := newCanvas(w, h)
+	const left = 128
+	plotW := float64(w-left-marginR) / float64(len(colLabels))
+	plotH := float64(h-marginT-marginB) / float64(len(rowLabels))
+	maxLog := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if lv := math.Log2(math.Max(v, 1)); lv > maxLog {
+				maxLog = lv
+			}
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	c.text(float64(w)/2, 20, 14, "middle", title)
+	for i, rl := range rowLabels {
+		y := marginT + plotH*float64(i)
+		c.text(left-6, y+plotH/2+4, 10, "end", rl)
+		for j := range colLabels {
+			x := left + plotW*float64(j)
+			v := values[i][j]
+			c.rect(x, y, plotW, plotH, heatColor(math.Log2(math.Max(v, 1))/maxLog))
+			c.text(x+plotW/2, y+plotH/2+4, 10, "middle", fmt.Sprintf("%.1f", v))
+		}
+	}
+	for j, cl := range colLabels {
+		x := left + plotW*(float64(j)+0.5)
+		c.text(x, float64(h)-marginB+16, 9, "middle", cl)
+	}
+	return c.done()
+}
+
+// Confusion renders a confusion matrix like the paper's Figures 3-5: cells
+// shaded by row-normalized share, counts printed.
+func Confusion(title string, classNames []string, m [][]int) string {
+	n := len(classNames)
+	size := 96*n + 160
+	c := newCanvas(size, 96*n+96)
+	const left = 96
+	cell := 96.0
+	c.text(float64(size)/2, 20, 13, "middle", title)
+	for i := 0; i < n; i++ {
+		rowTotal := 0
+		for j := 0; j < n; j++ {
+			rowTotal += m[i][j]
+		}
+		y := marginT + cell*float64(i)
+		c.text(left-6, y+cell/2+4, 11, "end", classNames[i])
+		for j := 0; j < n; j++ {
+			x := left + cell*float64(j)
+			share := 0.0
+			if rowTotal > 0 {
+				share = float64(m[i][j]) / float64(rowTotal)
+			}
+			c.rect(x, y, cell, cell, heatColor(share))
+			c.text(x+cell/2, y+cell/2+5, 14, "middle", fmt.Sprintf("%d", m[i][j]))
+		}
+	}
+	for j := 0; j < n; j++ {
+		x := left + cell*(float64(j)+0.5)
+		c.text(x, marginT+cell*float64(n)+18, 11, "middle", classNames[j])
+	}
+	c.text(10, marginT-10, 10, "start", "true \\ predicted")
+	return c.done()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}

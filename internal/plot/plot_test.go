@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartWellFormedAndComplete(t *testing.T) {
+	svg := LineChart("Figure 1(a)", "op index", "latency (ms)", []Series{
+		{Name: "baseline", Ys: []float64{1, 2, 1.5, 3}},
+		{Name: "3x write", Ys: []float64{5, 9, 7, 12}},
+	}, 640, 360)
+	wellFormed(t, svg)
+	for _, want := range []string{"Figure 1(a)", "baseline", "3x write", "op index", "latency (ms)", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestLineChartHandlesDegenerateInput(t *testing.T) {
+	wellFormed(t, LineChart("t", "x", "y", nil, 320, 200))
+	wellFormed(t, LineChart("t", "x", "y", []Series{{Name: "flat", Ys: []float64{0, 0}}}, 320, 200))
+	wellFormed(t, LineChart("t", "x", "y", []Series{{Name: "one", Ys: []float64{5}}}, 320, 200))
+}
+
+func TestHeatmapCellsAndLabels(t *testing.T) {
+	svg := Heatmap("Table I", []string{"r0", "r1"}, []string{"c0", "c1"},
+		[][]float64{{1, 40.9}, {4.4, 1.2}}, 480, 300)
+	wellFormed(t, svg)
+	for _, want := range []string{"Table I", "r0", "c1", "40.9", "4.4"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// The 40.9x cell must be darker (lower green) than the 1.2x cell.
+	if !strings.Contains(svg, heatColor(1.0)) {
+		t.Fatal("max cell not at full heat")
+	}
+}
+
+func TestConfusionSharesAndCounts(t *testing.T) {
+	svg := Confusion("Figure 3(a)", []string{"<2x", ">=2x"}, [][]int{{46, 0}, {4, 112}})
+	wellFormed(t, svg)
+	for _, want := range []string{"112", "46", "&lt;2x", "&gt;=2x", "true \\ predicted"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestConfusionZeroRowSafe(t *testing.T) {
+	svg := Confusion("empty", []string{"a", "b"}, [][]int{{0, 0}, {1, 1}})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestNiceTicksProperties(t *testing.T) {
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw) / 7
+		hi := lo + float64(spanRaw%5000)/3 + 0.1
+		ticks := niceTicks(lo, hi, 5)
+		if len(ticks) == 0 || len(ticks) > 12 {
+			return false
+		}
+		for i, v := range ticks {
+			if v < lo-1e-9 || v > hi+1e-6 {
+				return false
+			}
+			if i > 0 && v <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("a<b>&c") != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("escape: %q", escape("a<b>&c"))
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.5, 1, 2} {
+		c := heatColor(v)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("bad color %q", c)
+		}
+	}
+	if heatColor(0) != "#ffffff" {
+		t.Fatalf("zero heat should be white: %s", heatColor(0))
+	}
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeOut(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAssemblesSections(t *testing.T) {
+	dir := t.TempDir()
+	writeOut(t, dir, "table1.txt", "slowdown matrix <raw>")
+	writeOut(t, dir, "table1.csv", "a,b\n1,2\n")
+	writeOut(t, dir, "table1.svg", `<svg xmlns="http://www.w3.org/2000/svg"><rect/></svg>`)
+	writeOut(t, dir, "fig3a.txt", "confusion")
+	writeOut(t, dir, "fig5_0.svg", `<svg xmlns="http://www.w3.org/2000/svg"><circle/></svg>`)
+	writeOut(t, dir, "fig5_1.svg", `<svg xmlns="http://www.w3.org/2000/svg"><circle/></svg>`)
+	writeOut(t, dir, "custom_thing.txt", "extra output")
+
+	html, err := Build(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table I — IO500 slowdown matrix", // known title applied
+		"Figure 3(a)",
+		"&lt;raw&gt;",  // txt escaped
+		"<rect/>",      // svg inlined unescaped
+		"table1.csv",   // csv referenced
+		"custom_thing", // unknown section appended
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// fig5 section holds both panel SVGs.
+	if strings.Count(html, "<circle/>") != 2 {
+		t.Fatal("fig5 panels not both inlined")
+	}
+	// Known order: table1 before fig3a.
+	if strings.Index(html, `id="table1"`) > strings.Index(html, `id="fig3a"`) {
+		t.Fatal("paper order not preserved")
+	}
+}
+
+func TestBuildEmptyDirErrors(t *testing.T) {
+	if _, err := Build(t.TempDir()); err == nil {
+		t.Fatal("expected error for empty dir")
+	}
+}
+
+func TestBuildMissingDirErrors(t *testing.T) {
+	if _, err := Build(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	if granted != 2 || r.InUse() != 2 {
+		t.Fatalf("granted=%d inUse=%d", granted, r.InUse())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	r.Acquire(func() {}) // hold the only unit
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func() { order = append(order, i); r.Release() })
+	}
+	if r.Waiting() != 5 {
+		t.Fatalf("waiting=%d, want 5", r.Waiting())
+	}
+	r.Release()
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("grant order %v not FIFO", order)
+		}
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse=%d after all released", r.InUse())
+	}
+	if r.PeakWaiting() != 5 {
+		t.Fatalf("peak=%d, want 5", r.PeakWaiting())
+	}
+}
+
+func TestResourceReleaseUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(NewEngine(), 1).Release()
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(NewEngine(), 0)
+}
+
+// Property: with capacity c and n holders each holding for a fixed time,
+// concurrency never exceeds c and every acquirer eventually runs.
+func TestPropertyResourceBounds(t *testing.T) {
+	f := func(capRaw, nRaw uint8) bool {
+		c := int(capRaw%8) + 1
+		n := int(nRaw%64) + 1
+		e := NewEngine()
+		r := NewResource(e, c)
+		active, peak, completed := 0, 0, 0
+		for i := 0; i < n; i++ {
+			e.Schedule(Time(i), func() {
+				r.Acquire(func() {
+					active++
+					if active > peak {
+						peak = active
+					}
+					e.Schedule(10, func() {
+						active--
+						completed++
+						r.Release()
+					})
+				})
+			})
+		}
+		e.Run()
+		return peak <= c && completed == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, 100, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(10_000)
+	if len(ticks) != 4 {
+		t.Fatalf("ticks=%v, want 4", ticks)
+	}
+	for i, tt := range ticks {
+		if tt != Time(100*(i+1)) {
+			t.Fatalf("tick %d at %d, want %d", i, tt, 100*(i+1))
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(42).Derive(1)
+	d := NewRNG(42).Derive(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("derived streams with different labels are identical")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(3, 5)
+		if v < 3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %f", v)
+		}
+	}
+}

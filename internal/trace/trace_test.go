@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+func sampleRecords() []workload.Record {
+	return []workload.Record{
+		{
+			Workload: "enzo", Rank: 0, Iter: 0, Seq: 3,
+			Op:    workload.Op{Kind: workload.Write, Path: "/d/f0", Offset: 1 << 20, Size: 4096},
+			Start: 100, End: 250, Targets: []int{2},
+		},
+		{
+			Workload: "enzo", Rank: 1, Iter: 2, Seq: 0,
+			Op:    workload.Op{Kind: workload.Stat, Path: "/d"},
+			Start: 300, End: 400, Targets: []int{6},
+		},
+		{
+			Workload: "enzo", Rank: 0, Iter: 0, Seq: 4,
+			Op:    workload.Op{Kind: workload.Read, Path: "/d/striped", Offset: 0, Size: 2 << 20},
+			Start: 500, End: 900, Targets: []int{0, 1},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	recs := sampleRecords()
+	for _, r := range recs {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count=%d", w.Count())
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range recs {
+		want, have := recs[i], got[i]
+		if want.Workload != have.Workload || want.Rank != have.Rank ||
+			want.Iter != have.Iter || want.Seq != have.Seq ||
+			want.Op != have.Op || want.Start != have.Start || want.End != have.End {
+			t.Fatalf("record %d: %+v != %+v", i, have, want)
+		}
+		if len(want.Targets) != len(have.Targets) {
+			t.Fatalf("record %d targets %v != %v", i, have.Targets, want.Targets)
+		}
+		for j := range want.Targets {
+			if want.Targets[j] != have.Targets[j] {
+				t.Fatalf("record %d target %d", i, j)
+			}
+		}
+	}
+}
+
+func TestHeaderAndCommentsSkipped(t *testing.T) {
+	in := Header + "\n# a comment\n\nenzo\t0\t0\t0\tread\t/f\t0\t10\t1\t2\t0\n"
+	recs, err := Read(strings.NewReader(in))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestRejectsMalformedLines(t *testing.T) {
+	cases := []string{
+		"too\tfew\tfields",
+		"w\t0\t0\t0\tbogus-kind\t/f\t0\t10\t1\t2\t0",
+		"w\tx\t0\t0\tread\t/f\t0\t10\t1\t2\t0",
+		"w\t0\t0\t0\tread\t/f\t0\t10\t5\t2\t0", // end < start
+		"w\t0\t0\t0\tread\t/f\t0\t10\t1\t2\tzz",
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted malformed line %q", c)
+		}
+	}
+}
+
+func TestSanitizesSeparators(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Write(workload.Record{
+		Workload: "w\tith\ttabs",
+		Op:       workload.Op{Kind: workload.Open, Path: "/p\nnewline"},
+		Targets:  []int{6},
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(strings.NewReader(b.String()))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	if strings.ContainsAny(recs[0].Op.Path, "\t\n") {
+		t.Fatalf("path not sanitized: %q", recs[0].Op.Path)
+	}
+}
+
+func TestEmptyPathRoundTrips(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Write(workload.Record{Op: workload.Op{Kind: workload.Compute}})
+	_ = w.Flush()
+	recs, err := Read(strings.NewReader(b.String()))
+	if err != nil || len(recs) != 1 || recs[0].Op.Path != "" {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+// Property: arbitrary records survive a round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(rank, iter, seq uint8, kindRaw uint8, off, size uint32, start uint32, durRaw uint16, tgt uint8) bool {
+		kind := workload.Kind(kindRaw % 9)
+		rec := workload.Record{
+			Workload: "w",
+			Rank:     int(rank), Iter: int(iter), Seq: int(seq),
+			Op: workload.Op{
+				Kind: kind, Path: "/p", Offset: int64(off), Size: int64(size),
+			},
+			Start:   sim.Time(start),
+			End:     sim.Time(start) + sim.Time(durRaw),
+			Targets: []int{int(tgt % 7)},
+		}
+		var b strings.Builder
+		w := NewWriter(&b)
+		w.Write(rec)
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.Op == rec.Op && g.Start == rec.Start && g.End == rec.End &&
+			g.Rank == rec.Rank && g.Iter == rec.Iter && g.Seq == rec.Seq &&
+			len(g.Targets) == 1 && g.Targets[0] == rec.Targets[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dlio emulates the DLIO benchmark's deep-learning data-loader I/O,
+// in the two configurations the paper trains on: Unet3D (large whole-sample
+// files read in random order each epoch) and BERT (small random reads from
+// large packed shards). Both interleave reads with compute, producing the
+// bursty, read-dominant pattern the paper's second dataset covers.
+package dlio
+
+import (
+	"fmt"
+
+	"quanterference/internal/lustre"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload"
+)
+
+// Model selects the emulated data loader.
+type Model int
+
+const (
+	Unet3D Model = iota
+	BERT
+)
+
+func (m Model) String() string {
+	if m == Unet3D {
+		return "dlio-unet3d"
+	}
+	return "dlio-bert"
+}
+
+// Params scales the emulation. Defaults are scaled-down but shape-preserving
+// versions of the DLIO defaults (Unet3D samples are ~140 MB in reality).
+type Params struct {
+	Dir   string
+	Ranks int
+	// Unet3D: dataset of Samples files, SampleBytes each.
+	Samples     int   // default 64
+	SampleBytes int64 // default 4 MiB
+	Epochs      int   // default 2
+	// BERT: Shards packed files, ShardBytes each; Steps random reads of
+	// ReadBytes per rank per epoch.
+	Shards     int   // default 4
+	ShardBytes int64 // default 32 MiB
+	Steps      int   // default 100
+	ReadBytes  int64 // default 128 KiB
+	// Compute is the training-step time between reads (default 50 ms).
+	Compute sim.Time
+	// CheckpointEvery writes a model checkpoint after this many samples
+	// or steps (0 disables; DLIO's checkpointing plugin). CheckpointBytes
+	// sizes each dump (default 8 MiB).
+	CheckpointEvery int
+	CheckpointBytes int64
+	// Xfer is the read transfer size for whole-sample reads (default 1 MiB).
+	Xfer int64
+	Seed int64
+}
+
+func (p *Params) applyDefaults() {
+	if p.Dir == "" {
+		p.Dir = "/dlio"
+	}
+	if p.Ranks == 0 {
+		p.Ranks = 1
+	}
+	if p.Samples == 0 {
+		p.Samples = 64
+	}
+	if p.SampleBytes == 0 {
+		p.SampleBytes = 4 << 20
+	}
+	if p.Epochs == 0 {
+		p.Epochs = 2
+	}
+	if p.Shards == 0 {
+		p.Shards = 4
+	}
+	if p.ShardBytes == 0 {
+		p.ShardBytes = 32 << 20
+	}
+	if p.Steps == 0 {
+		p.Steps = 100
+	}
+	if p.ReadBytes == 0 {
+		p.ReadBytes = 128 << 10
+	}
+	if p.Compute == 0 {
+		p.Compute = 50 * sim.Millisecond
+	}
+	if p.Xfer == 0 {
+		p.Xfer = 1 << 20
+	}
+	if p.CheckpointBytes == 0 {
+		p.CheckpointBytes = 8 << 20
+	}
+}
+
+// Gen generates the loader's op stream.
+type Gen struct {
+	model Model
+	p     Params
+}
+
+// New builds a generator.
+func New(model Model, p Params) *Gen {
+	p.applyDefaults()
+	return &Gen{model: model, p: p}
+}
+
+// Name implements workload.Generator.
+func (g *Gen) Name() string { return g.model.String() }
+
+func (g *Gen) samplePath(i int) string {
+	return fmt.Sprintf("%s/unet3d/sample%04d.npz", g.p.Dir, i)
+}
+
+func (g *Gen) shardPath(i int) string {
+	return fmt.Sprintf("%s/bert/shard%02d.tfrecord", g.p.Dir, i)
+}
+
+// checkpointOps emits one rank's model-checkpoint dump.
+func (g *Gen) checkpointOps(rank, ckpt int) []workload.Op {
+	path := fmt.Sprintf("%s/checkpoints/ckpt%04d.rank%d.pt", g.p.Dir, ckpt, rank)
+	ops := []workload.Op{{Kind: workload.Create, Path: path, StripeCount: 1}}
+	for off := int64(0); off < g.p.CheckpointBytes; off += g.p.Xfer {
+		n := g.p.CheckpointBytes - off
+		if n > g.p.Xfer {
+			n = g.p.Xfer
+		}
+		ops = append(ops, workload.Op{Kind: workload.Write, Path: path, Offset: off, Size: n})
+	}
+	return append(ops, workload.Op{Kind: workload.Close, Path: path})
+}
+
+// Ops implements workload.Generator.
+func (g *Gen) Ops(rank int) []workload.Op {
+	p := g.p
+	rng := sim.NewRNG(p.Seed ^ 0xd110).Derive(int64(rank))
+	var ops []workload.Op
+	switch g.model {
+	case Unet3D:
+		for epoch := 0; epoch < p.Epochs; epoch++ {
+			// The permutation is a collective: all ranks derive the same
+			// epoch order and read disjoint slices of it.
+			perm := sim.NewRNG(p.Seed ^ 0xd110).Derive(int64(epoch)).Perm(p.Samples)
+			// Each rank reads its shard of the permutation.
+			samplesSeen := 0
+			ckpt := epoch * 1000
+			for i := rank; i < len(perm); i += p.Ranks {
+				path := g.samplePath(perm[i])
+				ops = append(ops, workload.Op{Kind: workload.Open, Path: path})
+				for off := int64(0); off < p.SampleBytes; off += p.Xfer {
+					n := p.SampleBytes - off
+					if n > p.Xfer {
+						n = p.Xfer
+					}
+					ops = append(ops, workload.Op{Kind: workload.Read, Path: path, Offset: off, Size: n})
+				}
+				ops = append(ops,
+					workload.Op{Kind: workload.Close, Path: path},
+					workload.Op{Kind: workload.Compute, Dur: p.Compute},
+				)
+				samplesSeen++
+				if p.CheckpointEvery > 0 && samplesSeen%p.CheckpointEvery == 0 {
+					ops = append(ops, g.checkpointOps(rank, ckpt)...)
+					ckpt++
+				}
+			}
+		}
+	case BERT:
+		// Open every shard once, then sample random records.
+		for s := 0; s < p.Shards; s++ {
+			ops = append(ops, workload.Op{Kind: workload.Open, Path: g.shardPath(s)})
+		}
+		ckpt := 0
+		for step := 0; step < p.Steps; step++ {
+			shard := rng.Intn(p.Shards)
+			maxOff := p.ShardBytes - p.ReadBytes
+			off := rng.Int63n(maxOff/4096) * 4096
+			ops = append(ops,
+				workload.Op{Kind: workload.Read, Path: g.shardPath(shard), Offset: off, Size: p.ReadBytes},
+				workload.Op{Kind: workload.Compute, Dur: p.Compute / 5},
+			)
+			if p.CheckpointEvery > 0 && (step+1)%p.CheckpointEvery == 0 {
+				ops = append(ops, g.checkpointOps(rank, ckpt)...)
+				ckpt++
+			}
+		}
+		for s := 0; s < p.Shards; s++ {
+			ops = append(ops, workload.Op{Kind: workload.Close, Path: g.shardPath(s)})
+		}
+	}
+	return ops
+}
+
+// Prepare implements workload.Generator: the training dataset exists before
+// the loader runs.
+func (g *Gen) Prepare(fs *lustre.FS) {
+	p := g.p
+	switch g.model {
+	case Unet3D:
+		for i := 0; i < p.Samples; i++ {
+			fs.Populate(g.samplePath(i), p.SampleBytes, 1)
+		}
+	case BERT:
+		for s := 0; s < p.Shards; s++ {
+			fs.Populate(g.shardPath(s), p.ShardBytes, 2)
+		}
+	}
+}

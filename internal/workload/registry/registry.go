@@ -1,0 +1,94 @@
+// Package registry resolves workload names ("ior-easy-write",
+// "dlio-unet3d", "enzo", ...) into configured generators, giving the
+// command-line tools and examples one tested resolution path.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quanterference/internal/workload"
+	"quanterference/internal/workload/apps"
+	"quanterference/internal/workload/dlio"
+	"quanterference/internal/workload/io500"
+)
+
+// Spec carries the common knobs every named workload understands. Zero
+// values take each generator's defaults.
+type Spec struct {
+	// Dir is the namespace prefix (must be unique per concurrent instance).
+	Dir string
+	// Ranks must match the Runner rank count.
+	Ranks int
+	// Scale multiplies workload volume (0 = 1.0).
+	Scale float64
+}
+
+func (s *Spec) applyDefaults() {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Ranks == 0 {
+		s.Ranks = 1
+	}
+}
+
+func (s Spec) bytes(b int64) int64 {
+	v := int64(float64(b) * s.Scale)
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+func (s Spec) count(n int) int {
+	v := int(float64(n) * s.Scale)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Names lists every resolvable workload, sorted.
+func Names() []string {
+	names := []string{"dlio-unet3d", "dlio-bert", "enzo", "amrex", "openpmd"}
+	for _, t := range io500.ExtendedTasks() {
+		names = append(names, t.String())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve builds a generator for the named workload.
+func Resolve(name string, spec Spec) (workload.Generator, error) {
+	spec.applyDefaults()
+	if task, err := io500.ParseTask(name); err == nil {
+		return io500.New(task, io500.Params{
+			Dir:           spec.Dir,
+			Ranks:         spec.Ranks,
+			EasyFileBytes: spec.bytes(32 << 20),
+			HardOps:       spec.count(300),
+			MdtFiles:      spec.count(200),
+		}), nil
+	}
+	switch name {
+	case "dlio-unet3d":
+		return dlio.New(dlio.Unet3D, dlio.Params{
+			Dir: spec.Dir, Ranks: spec.Ranks,
+			Samples: spec.count(48), SampleBytes: spec.bytes(4 << 20),
+		}), nil
+	case "dlio-bert":
+		return dlio.New(dlio.BERT, dlio.Params{
+			Dir: spec.Dir, Ranks: spec.Ranks, Steps: spec.count(150),
+		}), nil
+	}
+	if app, err := apps.ParseApp(name); err == nil {
+		return apps.New(app, apps.Params{
+			Dir: spec.Dir, Ranks: spec.Ranks,
+			Cycles: 8, CheckpointBytes: spec.bytes(8 << 20),
+		}), nil
+	}
+	return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"sync"
+
+	"quanterference/internal/lustre"
+)
+
+// Sequence concatenates several generators into one multi-phase workload —
+// the shape of §II-A's closing observation: an application that runs the
+// IO500 tasks one after another experiences wildly different slowdown per
+// phase under the same interference. PhaseOf recovers which phase an op
+// index belongs to, so per-phase timing can be attributed.
+type Sequence struct {
+	name   string
+	phases []Generator
+	// bounds[rank] holds each phase's first op index for that rank,
+	// computed lazily per rank. Guarded by mu: generators may be shared
+	// across concurrently simulated runs (core.CollectDataset fans out).
+	mu     sync.Mutex
+	bounds map[int][]int
+}
+
+// NewSequence builds the composite. Phases run in order within every rank.
+func NewSequence(name string, phases ...Generator) *Sequence {
+	if len(phases) == 0 {
+		panic("workload: empty sequence")
+	}
+	return &Sequence{name: name, phases: phases, bounds: make(map[int][]int)}
+}
+
+// Name implements Generator.
+func (s *Sequence) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	names := make([]string, len(s.phases))
+	for i, p := range s.phases {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Phases returns the phase count.
+func (s *Sequence) Phases() int { return len(s.phases) }
+
+// PhaseName returns phase i's generator name.
+func (s *Sequence) PhaseName(i int) string { return s.phases[i].Name() }
+
+// Ops implements Generator: the concatenation of every phase's ops.
+func (s *Sequence) Ops(rank int) []Op {
+	var out []Op
+	bounds := make([]int, 0, len(s.phases))
+	for _, p := range s.phases {
+		bounds = append(bounds, len(out))
+		out = append(out, p.Ops(rank)...)
+	}
+	s.mu.Lock()
+	s.bounds[rank] = bounds
+	s.mu.Unlock()
+	return out
+}
+
+// PhaseOf maps a rank's op sequence index to its phase index. Ops must have
+// been generated for the rank first (the Runner does this).
+func (s *Sequence) PhaseOf(rank, seq int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bounds, ok := s.bounds[rank]
+	if !ok {
+		bounds = make([]int, 0, len(s.phases))
+		n := 0
+		for _, p := range s.phases {
+			bounds = append(bounds, n)
+			n += len(p.Ops(rank))
+		}
+		s.bounds[rank] = bounds
+	}
+	phase := 0
+	for i, b := range bounds {
+		if seq >= b {
+			phase = i
+		}
+	}
+	return phase
+}
+
+// Prepare implements Generator: every phase prepares its inputs.
+func (s *Sequence) Prepare(fs *lustre.FS) {
+	for _, p := range s.phases {
+		p.Prepare(fs)
+	}
+}

@@ -1,0 +1,239 @@
+// Package workload defines the operation model and the runner that executes
+// application I/O streams against the simulated file system.
+//
+// A workload is a set of ranks, each with a deterministic operation sequence
+// produced by a Generator. The Runner plays every rank concurrently (ops
+// within a rank are sequential, like a blocking POSIX I/O loop in an MPI
+// rank), emits a trace Record per completed operation — the client-side
+// monitor's raw input — and can loop forever to act as an interference
+// workload.
+package workload
+
+import (
+	"fmt"
+
+	"quanterference/internal/lustre"
+	"quanterference/internal/sim"
+)
+
+// Kind is an operation type.
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+	Open
+	Close
+	Stat
+	Create
+	Unlink
+	Mkdir
+	Compute
+)
+
+var kindNames = [...]string{
+	"read", "write", "open", "close", "stat", "create", "unlink", "mkdir", "compute",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// IsMeta reports whether the op is a metadata operation.
+func (k Kind) IsMeta() bool {
+	switch k {
+	case Open, Close, Stat, Create, Unlink, Mkdir:
+		return true
+	}
+	return false
+}
+
+// IsIO reports whether the op reaches the file system at all.
+func (k Kind) IsIO() bool { return k != Compute }
+
+// Op is one operation in a rank's stream.
+type Op struct {
+	Kind   Kind
+	Path   string
+	Offset int64
+	Size   int64
+	// StripeCount applies to Create (0 = file system default).
+	StripeCount int
+	// Dur applies to Compute.
+	Dur sim.Time
+}
+
+// Record is one completed I/O operation, the unit of client-side tracing
+// (the analogue of a Darshan DXT entry).
+type Record struct {
+	Workload string
+	Rank     int
+	// Iter and Seq identify the op within the rank's stream across loop
+	// iterations; (Rank, Iter, Seq) is the key used to match operations
+	// between a baseline and an interference run.
+	Iter int
+	Seq  int
+	Op   Op
+	// Start and End are simulated timestamps.
+	Start sim.Time
+	End   sim.Time
+	// Targets are the storage target indices the op touched
+	// (OST ids, or the MDT index for metadata ops).
+	Targets []int
+}
+
+// Duration returns the op's simulated latency.
+func (r Record) Duration() sim.Time { return r.End - r.Start }
+
+// Generator produces the op stream for one rank of a workload.
+type Generator interface {
+	// Name identifies the workload type (e.g. "ior-easy-write").
+	Name() string
+	// Ops returns rank r's full operation sequence for one iteration.
+	Ops(rank int) []Op
+	// Prepare pre-creates whatever on-disk state the ops consume (for
+	// read-type workloads, the files written by an earlier phase). It
+	// runs instantly before the workload starts.
+	Prepare(fs *lustre.FS)
+}
+
+// Runner executes a Generator's ranks on the file system.
+type Runner struct {
+	FS   *lustre.FS
+	Name string
+	// Nodes carries the compute nodes; ranks are placed round-robin.
+	Nodes []string
+	Ranks int
+	Gen   Generator
+	// Loop restarts each rank's stream when it ends (interference mode).
+	Loop bool
+	// OnRecord observes every completed I/O op (may be nil).
+	OnRecord func(Record)
+	// OnDone fires when all ranks finish (never in Loop mode; may be nil).
+	OnDone func()
+	// WriteVia, when set, replaces direct client writes — e.g. routing
+	// them through a burst buffer tier. It must eventually call done.
+	WriteVia func(h *lustre.Handle, off, length int64, done func())
+
+	stopped  bool
+	active   int
+	started  bool
+	prepared bool
+}
+
+// Stop makes every rank halt after its in-flight operation.
+func (r *Runner) Stop() { r.stopped = true }
+
+// Running reports whether any rank is still executing.
+func (r *Runner) Running() bool { return r.active > 0 }
+
+// Start prepares the generator and launches all ranks.
+func (r *Runner) Start() {
+	if r.started {
+		panic("workload: runner started twice")
+	}
+	r.started = true
+	if r.Ranks <= 0 || len(r.Nodes) == 0 {
+		panic("workload: runner needs ranks and nodes")
+	}
+	r.Gen.Prepare(r.FS)
+	r.active = r.Ranks
+	for rank := 0; rank < r.Ranks; rank++ {
+		node := r.Nodes[rank%len(r.Nodes)]
+		r.runRank(rank, node)
+	}
+}
+
+// rankState tracks a rank's open handles across its stream.
+type rankState struct {
+	handles map[string]*lustre.Handle
+}
+
+func (r *Runner) runRank(rank int, node string) {
+	client := r.FS.Client(node)
+	st := &rankState{handles: make(map[string]*lustre.Handle)}
+	iter := 0
+	ops := r.Gen.Ops(rank)
+	var exec func(i int)
+	finishRank := func() {
+		r.active--
+		if r.active == 0 && r.OnDone != nil {
+			r.OnDone()
+		}
+	}
+	exec = func(i int) {
+		if r.stopped {
+			finishRank()
+			return
+		}
+		if i >= len(ops) {
+			if !r.Loop {
+				finishRank()
+				return
+			}
+			iter++
+			exec(0)
+			return
+		}
+		op := ops[i]
+		start := r.FS.Eng.Now()
+		emit := func(targets []int) {
+			if r.OnRecord != nil && op.Kind.IsIO() {
+				r.OnRecord(Record{
+					Workload: r.Name, Rank: rank, Iter: iter, Seq: i,
+					Op: op, Start: start, End: r.FS.Eng.Now(),
+					Targets: targets,
+				})
+			}
+			exec(i + 1)
+		}
+		mdt := []int{r.FS.MDTIndex()}
+		switch op.Kind {
+		case Compute:
+			r.FS.Eng.Schedule(op.Dur, func() { emit(nil) })
+		case Create:
+			client.Create(op.Path, op.StripeCount, func(h *lustre.Handle) {
+				st.handles[op.Path] = h
+				emit(mdt)
+			})
+		case Open:
+			client.Open(op.Path, func(h *lustre.Handle) {
+				st.handles[op.Path] = h
+				emit(mdt)
+			})
+		case Close:
+			h := st.handle(op)
+			delete(st.handles, op.Path)
+			client.Close(h, func() { emit(mdt) })
+		case Stat:
+			client.Stat(op.Path, func() { emit(mdt) })
+		case Unlink:
+			client.Unlink(op.Path, func() { emit(mdt) })
+		case Mkdir:
+			client.Mkdir(op.Path, func() { emit(mdt) })
+		case Read:
+			h := st.handle(op)
+			client.Read(h, op.Offset, op.Size, func() {
+				emit(h.Targets(op.Offset, op.Size))
+			})
+		case Write:
+			h := st.handle(op)
+			write := client.Write
+			if r.WriteVia != nil {
+				write = r.WriteVia
+			}
+			write(h, op.Offset, op.Size, func() {
+				emit(h.Targets(op.Offset, op.Size))
+			})
+		default:
+			panic(fmt.Sprintf("workload: unknown op kind %d", op.Kind))
+		}
+	}
+	exec(0)
+}
+
+func (s *rankState) handle(op Op) *lustre.Handle {
+	h, ok := s.handles[op.Path]
+	if !ok {
+		panic(fmt.Sprintf("workload: %s of %q without open handle", op.Kind, op.Path))
+	}
+	return h
+}

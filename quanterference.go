@@ -1,0 +1,140 @@
+// Package quanterference is a Go reproduction of "Understanding and
+// Predicting Cross-Application I/O Interference in HPC Storage Systems"
+// (Egersdoerfer et al., SC 2024).
+//
+// It bundles a deterministic discrete-event simulator of a Lustre-like
+// parallel file system (rotational disks, block request queues, fair-share
+// network, MDS/OSS/OST servers with write-back caching and client
+// readahead), generators for the paper's workloads (IO500, DLIO, and
+// Enzo/AMReX/OpenPMD emulations), the paper's client- and server-side
+// monitors, the §III-D labelling pipeline, and a from-scratch kernel-based
+// neural network that predicts per-time-window interference severity.
+//
+// This root package re-exports the high-level API; the implementation lives
+// in internal/ packages. Typical use:
+//
+//	// Measure a workload under interference.
+//	res := quanterference.Run(quanterference.Scenario{ ... })
+//
+//	// Collect a labelled dataset (§III-D) and train the model.
+//	ds := quanterference.CollectDataset(base, variants, quanterference.CollectorConfig{})
+//	fw, confusion := quanterference.TrainFramework(ds, quanterference.FrameworkConfig{})
+//
+//	// Predict online.
+//	class, probs := fw.Predict(windowMatrix)
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper are exposed as TableI, Figure1a/b, TableII, Figure3a/b, Figure4,
+// Figure5, and the Ablation* functions; cmd/figures wraps them all.
+package quanterference
+
+import (
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/experiments"
+	"quanterference/internal/label"
+	"quanterference/internal/lustre"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+)
+
+// Simulation building blocks.
+type (
+	// Cluster is one simulated system: engine, network, file system.
+	Cluster = core.Cluster
+	// Scenario describes a measurement run.
+	Scenario = core.Scenario
+	// TargetSpec places the measured application.
+	TargetSpec = core.TargetSpec
+	// InterferenceSpec places one looping background workload.
+	InterferenceSpec = core.InterferenceSpec
+	// RunResult is a completed run's trace and windows.
+	RunResult = core.RunResult
+	// Variant is one interference configuration during data collection.
+	Variant = core.Variant
+	// CollectorConfig controls training-data generation.
+	CollectorConfig = core.CollectorConfig
+	// Framework is the trained prediction service.
+	Framework = core.Framework
+	// FrameworkConfig controls model training.
+	FrameworkConfig = core.FrameworkConfig
+	// LiveMonitor emits per-window matrices from a live run.
+	LiveMonitor = core.LiveMonitor
+
+	// Topology is the cluster layout; Config the file-system tunables.
+	Topology = lustre.Topology
+	Config   = lustre.Config
+
+	// Bins discretizes degradation levels into classes.
+	Bins = label.Bins
+	// Dataset is a labelled sample collection.
+	Dataset = dataset.Dataset
+	// Confusion is an evaluation confusion matrix.
+	Confusion = ml.Confusion
+
+	// Time is a simulated timestamp/duration in nanoseconds.
+	Time = sim.Time
+)
+
+// NewCluster builds a fresh simulated cluster.
+func NewCluster(topo Topology, cfg Config) *Cluster { return core.NewCluster(topo, cfg) }
+
+// Run executes a scenario on a fresh cluster.
+func Run(s Scenario) *RunResult { return core.Run(s) }
+
+// CollectDataset implements the paper's §III-D data generation.
+func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *Dataset {
+	return core.CollectDataset(base, variants, cfg)
+}
+
+// TrainFramework trains the kernel-based model with the paper's 80/20 split
+// and returns the framework plus the held-out confusion matrix.
+func TrainFramework(ds *Dataset, cfg FrameworkConfig) (*Framework, *Confusion) {
+	return core.TrainFramework(ds, cfg)
+}
+
+// WindowMatrix is one time window's per-server feature vectors.
+type WindowMatrix = window.Matrix
+
+// AttachLive starts runtime monitoring on a cluster (Figure 2's online path).
+func AttachLive(cl *Cluster, windowSize Time, onWindow func(idx int, mat WindowMatrix)) *LiveMonitor {
+	return core.AttachLive(cl, windowSize, onWindow)
+}
+
+// PaperTopology is the evaluation cluster of §IV.
+func PaperTopology() Topology { return lustre.PaperTopology() }
+
+// BinaryBins is the paper's binary >=2x setting; SeverityBins the 3-class one.
+func BinaryBins() Bins   { return label.BinaryBins() }
+func SeverityBins() Bins { return label.SeverityBins() }
+
+// Seconds converts seconds to simulated Time.
+func Seconds(s float64) Time { return sim.Seconds(s) }
+
+// LoadFramework restores a framework persisted with Framework.Save.
+func LoadFramework(path string) (*Framework, error) { return core.LoadFramework(path) }
+
+// Experiment drivers (one per paper table/figure); see cmd/figures.
+var (
+	TableI               = experiments.TableI
+	Figure1a             = experiments.Figure1a
+	Figure1b             = experiments.Figure1b
+	TableII              = experiments.TableII
+	Figure3a             = experiments.Figure3a
+	Figure3b             = experiments.Figure3b
+	Figure4              = experiments.Figure4
+	Figure5              = experiments.Figure5
+	IO500Dataset         = experiments.IO500Dataset
+	DLIODataset          = experiments.DLIODataset
+	AppDataset           = experiments.AppDataset
+	AblationArchitecture = experiments.AblationArchitecture
+	AblationFeatures     = experiments.AblationFeatures
+	AblationWindow       = experiments.AblationWindow
+	// Extensions beyond the paper.
+	ExtensionArchitectures = experiments.ExtensionArchitectures
+	ExtensionRegression    = experiments.ExtensionRegression
+	CaseStudyMitigation    = experiments.CaseStudyMitigation
+	PhaseStudy             = experiments.PhaseStudy
+	Robustness             = experiments.Robustness
+)
