@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test tier1 verify bench trace clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tier1 is the roadmap's acceptance gate.
+tier1: build test
+
+# verify adds static analysis and the race detector — required before any
+# change to internal/obs or the instrumentation hot paths, since a shared
+# Sink is mutated from par.Map worker goroutines.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
+
+# trace produces a sample Chrome trace-event file; open trace.json in
+# about:tracing or https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/simrun -target ior-easy-write -scale 0.2 \
+		-interference ior-easy-read -instances 2 \
+		-trace-events trace.json -stats
+
+clean:
+	rm -f trace.json
+	rm -rf out/

@@ -252,6 +252,57 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+func benchScenario() quant.Scenario {
+	return quant.Scenario{
+		Target: quant.TargetSpec{
+			Gen: io500.New(io500.IorEasyWrite, io500.Params{
+				Dir: "/b", Ranks: 2, EasyFileBytes: 16 << 20}),
+			Nodes: []string{"c0"},
+			Ranks: 2,
+		},
+	}
+}
+
+// BenchmarkRun measures RunE on its default path — metrics always on (the
+// private per-run sink), tracing off — and reports the simulator's own
+// observability counters alongside ns/op, so a perf regression can be
+// attributed to event volume vs per-event cost.
+func BenchmarkRun(b *testing.B) {
+	var events, reqs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := quant.RunE(benchScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finished {
+			b.Fatal("run truncated")
+		}
+		events += res.Stats.CounterTotal("engine", "events_executed")
+		reqs += res.Stats.CounterTotal("disk", "requests")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "simevents/op")
+	b.ReportMetric(float64(reqs)/float64(b.N), "diskreqs/op")
+}
+
+// BenchmarkRunTraced is the same run with span collection enabled, bounding
+// the cost of -trace-events.
+func BenchmarkRunTraced(b *testing.B) {
+	var spans int
+	for i := 0; i < b.N; i++ {
+		sink := quant.NewSink()
+		sink.EnableTrace(0)
+		res, err := quant.RunE(benchScenario(), quant.WithSink(sink))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finished {
+			b.Fatal("run truncated")
+		}
+		spans += sink.TraceSpans()
+	}
+	b.ReportMetric(float64(spans)/float64(b.N), "spans/op")
+}
+
 // BenchmarkKernelModelTrainStep measures one epoch over 256 samples.
 func BenchmarkKernelModelTrainStep(b *testing.B) {
 	ds := syntheticDataset(256)

@@ -6,6 +6,10 @@
 //
 //	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation]
 //	        [-scale 1.0] [-epochs 60] [-seed 42] [-out out/]
+//	        [-pprof localhost:6060]
+//
+// -pprof serves net/http/pprof profiles and a /metrics runtime-metrics dump
+// on the given address while the experiments run.
 //
 // With no -only flag every experiment runs in paper order.
 package main
@@ -21,6 +25,7 @@ import (
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
 	"quanterference/internal/label"
+	"quanterference/internal/obs"
 )
 
 var (
@@ -29,10 +34,19 @@ var (
 	epochs = flag.Int("epochs", 60, "training epochs for model experiments")
 	seed   = flag.Int64("seed", 42, "root random seed")
 	outDir = flag.String("out", "out", "output directory for .txt/.csv files")
+	pprofA = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 )
 
 func main() {
 	flag.Parse()
+	if *pprofA != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofA); err != nil {
+				fmt.Fprintln(os.Stderr, "figures: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof + /metrics on http://%s/debug/pprof/\n", *pprofA)
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

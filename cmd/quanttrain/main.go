@@ -6,6 +6,10 @@
 //
 //	quanttrain -data dataset.json [-bins binary|severity] [-epochs 60]
 //	           [-flat] [-seed 42] [-save framework.json]
+//	           [-pprof localhost:6060]
+//
+// -pprof serves net/http/pprof profiles and a /metrics runtime-metrics dump
+// on the given address for the duration of training.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"quanterference/internal/dataset"
 	"quanterference/internal/label"
 	"quanterference/internal/ml"
+	"quanterference/internal/obs"
 )
 
 var (
@@ -26,10 +31,19 @@ var (
 	flat     = flag.Bool("flat", false, "use the flat-MLP ablation baseline instead of the kernel model")
 	seed     = flag.Int64("seed", 42, "random seed for split and init")
 	savePath = flag.String("save", "", "persist the trained framework (model + scaler + bins) to this file")
+	pprofAdr = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 )
 
 func main() {
 	flag.Parse()
+	if *pprofAdr != "" {
+		go func() {
+			if err := obs.ServeDebug(*pprofAdr); err != nil {
+				fmt.Fprintln(os.Stderr, "quanttrain: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof + /metrics on http://%s/debug/pprof/\n", *pprofAdr)
+	}
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
 		fatal(err)
@@ -50,7 +64,7 @@ func main() {
 	fmt.Printf("dataset: %d samples, balance %v, %d targets x %d features\n",
 		ds.Len(), ds.ClassCounts(), ds.NTargets, len(ds.FeatureNames))
 
-	fw, cm := core.TrainFramework(ds, core.FrameworkConfig{
+	fw, cm, err := core.TrainFrameworkE(ds, core.FrameworkConfig{
 		Bins: bins, Seed: *seed, Flat: *flat,
 		Train: ml.TrainConfig{
 			Epochs: *epochs, Seed: *seed,
@@ -61,6 +75,9 @@ func main() {
 			},
 		},
 	})
+	if err != nil {
+		fatal(err)
+	}
 	names := make([]string, bins.Classes())
 	for c := range names {
 		names[c] = bins.Name(c)

@@ -8,6 +8,12 @@
 //	simrun -target ior-easy-write [-ranks 4]
 //	       [-interference ior-easy-read -instances 3 -iranks 6]
 //	       [-scale 1.0] [-maxtime 300] [-trace run.dxt]
+//	       [-trace-events run.json] [-stats]
+//
+// -trace-events writes a Chrome trace-event file of the simulator's own
+// internals (disk service, block-queue latency, network flows, OST flushes,
+// MDS ops) — load it in about:tracing or https://ui.perfetto.dev. -stats
+// prints the end-of-run observability counters for every component.
 //
 // Target and interference accept any IO500 task name (ior-easy-read,
 // ior-hard-write, mdt-easy-write, ...), a DLIO model (dlio-unet3d,
@@ -22,6 +28,7 @@ import (
 
 	"quanterference/internal/core"
 	"quanterference/internal/monitor/clientmon"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 	"quanterference/internal/trace"
 	"quanterference/internal/workload/registry"
@@ -37,6 +44,8 @@ var (
 	maxTime   = flag.Float64("maxtime", 300, "simulated time cap in seconds")
 	tracePath = flag.String("trace", "", "write the target's DXT-style op trace to this file")
 	profile   = flag.Bool("profile", false, "print a Darshan-style per-file profile of the target")
+	eventPath = flag.String("trace-events", "", "write a Chrome trace-event JSON of simulator internals to this file")
+	stats     = flag.Bool("stats", false, "print the end-of-run observability counters")
 )
 
 func main() {
@@ -66,7 +75,28 @@ func main() {
 			})
 		}
 	}
-	res := core.Run(scenario)
+	sink := obs.New()
+	if *eventPath != "" {
+		sink.EnableTrace(0)
+	}
+	res, err := core.RunE(scenario, core.WithSink(sink))
+	if err != nil {
+		fatal(err)
+	}
+	if *eventPath != "" {
+		f, err := os.Create(*eventPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sink.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (dropped %d)\n",
+			sink.TraceSpans(), *eventPath, sink.TraceDropped())
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -145,6 +175,10 @@ func main() {
 			}
 			fmt.Printf("%-6s%16.0f%16.0f%16.3f\n", name, vec[0], vec[6], vec[18])
 		}
+	}
+
+	if *stats {
+		fmt.Printf("\nobservability counters:\n%s", res.Stats.Render())
 	}
 }
 

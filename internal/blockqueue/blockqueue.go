@@ -11,6 +11,7 @@ package blockqueue
 
 import (
 	"quanterference/internal/disk"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -96,12 +97,38 @@ type Queue struct {
 	consecReads   int
 	totalSubmits  uint64
 	totalDispatch uint64
+
+	// Observability handles; nil unless Instrument attached a sink.
+	sink       *obs.Sink
+	instance   string
+	cSubmits   *obs.Counter
+	cDispatch  *obs.Counter
+	cMerges    *obs.Counter
+	gDepthMax  *obs.Gauge
+	hLatencyNS *obs.Histogram
 }
 
 // New wraps a disk with a request queue.
 func New(eng *sim.Engine, dev *disk.Disk, cfg Config) *Queue {
 	cfg.applyDefaults()
 	return &Queue{eng: eng, dev: dev, cfg: cfg}
+}
+
+// Instrument registers block-layer metrics on the sink under the given
+// instance name and instruments the underlying device with the same name:
+// submit/dispatch/merge counters (the per-device iostat deltas behind the
+// paper's Table II features), a backlog high-water gauge, and a
+// queue-entry-to-completion latency histogram. Each completed request also
+// becomes a trace span covering its queued + service time.
+func (q *Queue) Instrument(s *obs.Sink, instance string) {
+	q.dev.Instrument(s, instance)
+	q.sink = s
+	q.instance = instance
+	q.cSubmits = s.Counter("blockqueue", instance, "submits")
+	q.cDispatch = s.Counter("blockqueue", instance, "dispatches")
+	q.cMerges = s.Counter("blockqueue", instance, "merges")
+	q.gDepthMax = s.Gauge("blockqueue", instance, "max_backlog")
+	q.hLatencyNS = s.Histogram("blockqueue", instance, "latency_ns", obs.TimeBuckets())
 }
 
 // account integrates queue-depth-over-time counters up to now.
@@ -145,6 +172,7 @@ func (q *Queue) Submit(op disk.Op, sector, sectors int64, done func()) {
 	q.account()
 	q.counters.InFlight++
 	q.totalSubmits++
+	q.cSubmits.Inc()
 
 	// Try to merge with a pending request of the same direction.
 	for _, p := range q.pending {
@@ -172,10 +200,12 @@ func (q *Queue) Submit(op disk.Op, sector, sectors int64, done func()) {
 		op: op, sector: sector, sectors: sectors,
 		arrival: q.eng.Now(), dones: []func(){done},
 	})
+	q.gDepthMax.Max(float64(len(q.pending)))
 	q.maybeDispatch()
 }
 
 func (q *Queue) noteMerge(op disk.Op) {
+	q.cMerges.Inc()
 	if op == disk.Read {
 		q.counters.ReadsMerged++
 	} else {
@@ -254,6 +284,7 @@ func (q *Queue) maybeDispatch() {
 	q.pending = append(q.pending[:i], q.pending[i+1:]...)
 	q.dispatched = req
 	q.totalDispatch++
+	q.cDispatch.Inc()
 	if req.op == disk.Read {
 		q.consecReads++
 	} else {
@@ -282,6 +313,8 @@ func (q *Queue) complete(req *ioReq) {
 	}
 	q.counters.InFlight -= int(n)
 	q.dispatched = nil
+	q.hLatencyNS.Observe(float64(latency))
+	q.sink.Span("blockqueue", q.instance, req.op.String(), req.arrival, latency)
 	for _, d := range req.dones {
 		d()
 	}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"quanterference/internal/label"
+	"quanterference/internal/lustre"
+	"quanterference/internal/obs"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+func TestRunEInvalidScenario(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want error
+	}{
+		{"empty", Scenario{}, ErrInvalidScenario},
+		{"no-ranks", Scenario{Target: TargetSpec{
+			Gen: smallTarget().Gen, Nodes: []string{"c0"}}}, ErrInvalidScenario},
+		{"unknown-node", Scenario{Target: TargetSpec{
+			Gen: smallTarget().Gen, Nodes: []string{"nope"}, Ranks: 1}}, ErrInvalidScenario},
+		{"bad-window", func() Scenario {
+			s := Scenario{Target: smallTarget()}
+			s.WindowSize = sim.Millisecond
+			return s
+		}(), ErrInvalidScenario},
+		{"negative-maxtime", Scenario{Target: smallTarget(), MaxTime: -1}, ErrInvalidScenario},
+		{"negative-skew", Scenario{Target: smallTarget(), OSTSkew: -2}, ErrInvalidScenario},
+		{"bad-interference", Scenario{Target: smallTarget(),
+			Interference: []InterferenceSpec{{}}}, ErrInvalidScenario},
+		{"bad-topology", Scenario{
+			Topology: lustre.Topology{MDSNode: "m", Clients: []string{"c0"}},
+			Target:   smallTarget()}, ErrInvalidTopology},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunE(tc.s)
+			if res != nil || !errors.Is(err, tc.want) {
+				t.Fatalf("RunE = %v, %v; want nil, %v", res, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunPanicsWhereRunEErrors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(Scenario{}) did not panic")
+		}
+	}()
+	Run(Scenario{})
+}
+
+// TestRunEStatsAlwaysPopulated covers the acceptance criterion that every
+// run reports observability stats, with or without an explicit sink.
+func TestRunEStatsAlwaysPopulated(t *testing.T) {
+	res, err := RunE(Scenario{Target: smallTarget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Empty() {
+		t.Fatal("RunResult.Stats empty without WithSink")
+	}
+	// Every instrumented layer must have produced activity for a data write.
+	for _, c := range []struct {
+		component, name string
+	}{
+		{"engine", "events_executed"},
+		{"disk", "requests"},
+		{"blockqueue", "submits"},
+		{"netsim", "flows"},
+		{"ost", "writes_admitted"},
+		{"mds", "journal_ops"},
+	} {
+		if v := res.Stats.CounterTotal(c.component, c.name); v == 0 {
+			t.Errorf("%s/%s = 0, want > 0", c.component, c.name)
+		}
+	}
+	// A pure write workload triggers no readahead, but the client metrics
+	// must still be registered.
+	if _, ok := res.Stats.Counter("client", "c0", "ra_misses"); !ok {
+		t.Error("client/c0/ra_misses not registered")
+	}
+	if len(res.Stats.Histograms) == 0 {
+		t.Error("no histograms in stats")
+	}
+}
+
+func TestRunEWithSinkAggregates(t *testing.T) {
+	sink := obs.New()
+	first, err := RunE(Scenario{Target: smallTarget()}, WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunE(Scenario{Target: smallTarget()}, WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := first.Stats.CounterTotal("engine", "events_executed")
+	b := second.Stats.CounterTotal("engine", "events_executed")
+	// Identical deterministic runs on one shared sink: the second snapshot
+	// holds both runs' events.
+	if b != 2*a {
+		t.Fatalf("shared sink: second snapshot %d events, first %d (want exactly double)", b, a)
+	}
+}
+
+// TestTraceCoversAllLayers encodes the acceptance criterion that a traced
+// run exports Chrome trace events from the disk, blockqueue, netsim, and
+// lustre (ost + mds) layers.
+func TestTraceCoversAllLayers(t *testing.T) {
+	sink := obs.New()
+	sink.EnableTrace(0)
+	if _, err := RunE(Scenario{Target: smallTarget()}, WithSink(sink)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	cats := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			cats[ev.Cat]++
+		}
+	}
+	for _, want := range []string{"disk", "blockqueue", "netsim", "ost", "mds"} {
+		if cats[want] == 0 {
+			t.Errorf("no %q trace events; got %v", want, cats)
+		}
+	}
+}
+
+func TestCollectDatasetEBaselineUnfinished(t *testing.T) {
+	big := TargetSpec{
+		Gen:   io500.New(io500.IorEasyWrite, io500.Params{Dir: "/big", Ranks: 2, EasyFileBytes: 1 << 30}),
+		Nodes: []string{"c0"},
+		Ranks: 2,
+	}
+	ds, err := CollectDatasetE(Scenario{Target: big, MaxTime: 3 * sim.Second}, nil, CollectorConfig{})
+	if ds != nil || !errors.Is(err, ErrBaselineUnfinished) {
+		t.Fatalf("CollectDatasetE = %v, %v; want nil, ErrBaselineUnfinished", ds, err)
+	}
+	if !strings.Contains(err.Error(), "MaxTime") {
+		t.Errorf("error %q does not mention MaxTime", err)
+	}
+}
+
+func TestCollectDatasetEInvalidScenario(t *testing.T) {
+	ds, err := CollectDatasetE(Scenario{}, nil, CollectorConfig{})
+	if ds != nil || !errors.Is(err, ErrInvalidScenario) {
+		t.Fatalf("CollectDatasetE = %v, %v; want ErrInvalidScenario", ds, err)
+	}
+}
+
+func TestCollectDatasetEOptions(t *testing.T) {
+	base := Scenario{Target: smallTarget()}
+	variants := []Variant{{Interference: []InterferenceSpec{readInterference("/bgo", 6)}}}
+	ds, err := CollectDatasetE(base, variants, CollectorConfig{},
+		WithBins(label.SeverityBins()), WithBaselineSamples(true), WithMinOpsPerWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 3 {
+		t.Fatalf("WithBins(SeverityBins) gave %d classes, want 3", ds.Classes)
+	}
+	sawBaseline := false
+	for _, s := range ds.Samples {
+		if s.Run == "baseline" {
+			sawBaseline = true
+		}
+	}
+	if !sawBaseline {
+		t.Fatal("WithBaselineSamples(true) produced no baseline samples")
+	}
+}
+
+func TestTrainFrameworkEErrors(t *testing.T) {
+	if _, _, err := TrainFrameworkE(nil, FrameworkConfig{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("nil dataset: err = %v, want ErrEmptyDataset", err)
+	}
+	base := Scenario{Target: smallTarget()}
+	ds, err := CollectDatasetE(base, []Variant{
+		{Interference: readInstances(2, 6)},
+	}, CollectorConfig{IncludeBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TrainFrameworkE(ds, FrameworkConfig{TestFrac: 1.5}); err == nil {
+		t.Fatal("TestFrac 1.5 accepted")
+	}
+	fw, cm, err := TrainFrameworkE(ds, FrameworkConfig{Seed: 3, Train: TrainConfigQuick()})
+	if err != nil || fw == nil || cm == nil {
+		t.Fatalf("valid training failed: %v", err)
+	}
+}
+
+func TestLoadFrameworkRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name, content, wantSub string
+	}{
+		{"garbage.json", "not json at all", ""},
+		{"unrelated.json", `{"weights": [1, 2, 3]}`, "format"},
+		{"future.json", `{"format": "quanterference.framework", "version": 99}`, "version 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadFramework(write(tc.name, tc.content))
+			if !errors.Is(err, ErrBadFrameworkFile) {
+				t.Fatalf("err = %v, want ErrBadFrameworkFile", err)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+	if _, err := LoadFramework(dir + "/missing.json"); errors.Is(err, ErrBadFrameworkFile) {
+		t.Error("missing file should surface the os error, not ErrBadFrameworkFile")
+	}
+}
+
+func TestSavedFrameworkCarriesVersionHeader(t *testing.T) {
+	base := Scenario{Target: smallTarget()}
+	ds, err := CollectDatasetE(base, []Variant{
+		{Interference: readInstances(2, 6)},
+	}, CollectorConfig{IncludeBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, _, err := TrainFrameworkE(ds, FrameworkConfig{Seed: 3, Train: TrainConfigQuick()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/fw.json"
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var head struct {
+		Format  string `json:"format"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Format != FrameworkFormat || head.Version != FrameworkFormatVersion {
+		t.Fatalf("header = %q v%d, want %q v%d",
+			head.Format, head.Version, FrameworkFormat, FrameworkFormatVersion)
+	}
+	if _, err := LoadFramework(path); err != nil {
+		t.Fatalf("round-trip load: %v", err)
+	}
+}

@@ -43,14 +43,38 @@ func (c *CollectorConfig) applyDefaults() {
 // CollectDataset runs the scenario's target once without interference (the
 // baseline), then once per variant, labels every window by the average
 // per-op iotime ratio against the baseline, and assembles the dataset.
+//
+// Deprecated for new code: CollectDataset panics when the baseline does not
+// finish or the scenario is invalid; prefer CollectDatasetE, which returns
+// typed errors (ErrBaselineUnfinished, ErrInvalidScenario).
 func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dataset.Dataset {
+	ds, err := CollectDatasetE(base, variants, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// CollectDatasetE implements §III-D data generation with error reporting:
+// an unfinished baseline returns ErrBaselineUnfinished (wrapped), invalid
+// scenarios return ErrInvalidScenario/ErrInvalidTopology. Options override
+// the config's zero-ambiguous fields (WithBins, WithMinOpsPerWindow,
+// WithBaselineSamples) and WithSink aggregates observability across the
+// baseline and every variant run.
+func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*dataset.Dataset, error) {
+	o := applyOptions(opts)
+	o.applyCollector(&cfg)
 	cfg.applyDefaults()
 	base.applyDefaults()
 	base.Interference = nil
 
-	baseRes := Run(base)
+	baseRes, err := RunE(base, opts...)
+	if err != nil {
+		return nil, err
+	}
 	if !baseRes.Finished {
-		panic("core: baseline run did not finish within MaxTime")
+		return nil, fmt.Errorf("%w (MaxTime %v, target %s)",
+			ErrBaselineUnfinished, base.MaxTime, base.Target.Gen.Name())
 	}
 	labeler := label.New(baseRes.Records, base.WindowSize, cfg.MinOpsPerWindow)
 
@@ -91,23 +115,33 @@ func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dat
 	// Variant runs are independent simulations: fan out across cores and
 	// splice the results back in variant order.
 	perVariant := make([][]*dataset.Sample, len(variants))
+	errs := make([]error, len(variants))
 	par.Map(len(variants), func(i int) {
 		v := variants[i]
 		run := base
 		run.Interference = v.Interference
-		res := Run(run)
+		res, err := RunE(run, opts...)
+		if err != nil {
+			errs[i] = fmt.Errorf("variant %d (%s): %w", i, v.Name, err)
+			return
+		}
 		name := v.Name
 		if name == "" {
 			name = fmt.Sprintf("variant%d", i)
 		}
 		perVariant[i] = samplesFor(name, res, labeler.Degradations(res.Records))
 	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, samples := range perVariant {
 		for _, s := range samples {
 			ds.Add(s)
 		}
 	}
-	return ds
+	return ds, nil
 }
 
 // MatchRate reports the fraction of a run's records that matched the

@@ -18,6 +18,7 @@ import (
 	"quanterference/internal/monitor/servermon"
 	"quanterference/internal/monitor/window"
 	"quanterference/internal/netsim"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 	"quanterference/internal/workload"
 )
@@ -27,6 +28,8 @@ type Cluster struct {
 	Eng *sim.Engine
 	Net *netsim.Network
 	FS  *lustre.FS
+	// Sink is the attached observability sink, nil until Instrument.
+	Sink *obs.Sink
 }
 
 // NewCluster builds a fresh engine, network, and file system.
@@ -35,6 +38,17 @@ func NewCluster(topo lustre.Topology, cfg lustre.Config) *Cluster {
 	net := netsim.New(eng, netsim.Config{})
 	fs := lustre.New(eng, net, topo, cfg)
 	return &Cluster{Eng: eng, Net: net, FS: fs}
+}
+
+// Instrument attaches an observability sink to every layer of the cluster:
+// the event engine, the network fabric, and the file system (OSTs, MDS,
+// clients). Returns the cluster for chaining.
+func (cl *Cluster) Instrument(s *obs.Sink) *Cluster {
+	cl.Sink = s
+	cl.Eng.Instrument(s)
+	cl.Net.Instrument(s)
+	cl.FS.Instrument(s)
+	return cl
 }
 
 // TargetSpec places the measured application.
@@ -82,9 +96,60 @@ func (s *Scenario) applyDefaults() {
 	if s.MaxTime == 0 {
 		s.MaxTime = 600 * sim.Second
 	}
-	if s.WindowSize%sim.Second != 0 {
-		panic("core: window size must be a whole number of seconds")
+}
+
+// validate checks a defaulted scenario, returning ErrInvalidScenario- or
+// ErrInvalidTopology-wrapped errors for anything the simulator would
+// otherwise panic on mid-run.
+func (s *Scenario) validate() error {
+	if s.Target.Gen == nil || s.Target.Ranks <= 0 || len(s.Target.Nodes) == 0 {
+		return fmt.Errorf("%w: target needs Gen, Ranks > 0, and Nodes", ErrInvalidScenario)
 	}
+	if s.WindowSize <= 0 || s.WindowSize%sim.Second != 0 {
+		return fmt.Errorf("%w: window size %d ns must be a positive whole number of seconds",
+			ErrInvalidScenario, s.WindowSize)
+	}
+	if s.MaxTime <= 0 {
+		return fmt.Errorf("%w: non-positive MaxTime %d", ErrInvalidScenario, s.MaxTime)
+	}
+	if s.OSTSkew < 0 {
+		return fmt.Errorf("%w: negative OSTSkew %d", ErrInvalidScenario, s.OSTSkew)
+	}
+	for i, spec := range s.Interference {
+		if spec.Gen == nil || spec.Ranks <= 0 || len(spec.Nodes) == 0 {
+			return fmt.Errorf("%w: interference %d needs Gen, Ranks > 0, and Nodes",
+				ErrInvalidScenario, i)
+		}
+		if spec.StartAt < 0 {
+			return fmt.Errorf("%w: interference %d has negative StartAt", ErrInvalidScenario, i)
+		}
+	}
+	if s.Topology.MDSNode == "" || len(s.Topology.OSS) == 0 || len(s.Topology.Clients) == 0 {
+		return fmt.Errorf("%w: needs MDSNode, OSS, and Clients", ErrInvalidTopology)
+	}
+	for i, oss := range s.Topology.OSS {
+		if oss.Node == "" || oss.OSTs <= 0 {
+			return fmt.Errorf("%w: OSS %d needs Node and OSTs > 0", ErrInvalidTopology, i)
+		}
+	}
+	clients := make(map[string]bool, len(s.Topology.Clients))
+	for _, cn := range s.Topology.Clients {
+		clients[cn] = true
+	}
+	for _, node := range s.Target.Nodes {
+		if !clients[node] {
+			return fmt.Errorf("%w: target node %q is not a topology client", ErrInvalidScenario, node)
+		}
+	}
+	for i, spec := range s.Interference {
+		for _, node := range spec.Nodes {
+			if !clients[node] {
+				return fmt.Errorf("%w: interference %d node %q is not a topology client",
+					ErrInvalidScenario, i, node)
+			}
+		}
+	}
+	return nil
 }
 
 // RunResult is everything one scenario run produced.
@@ -101,15 +166,40 @@ type RunResult struct {
 	Finished bool
 	// NTargets is the storage-target count of the cluster.
 	NTargets int
+	// Stats is the end-of-run observability snapshot: engine, disk,
+	// blockqueue, netsim, OST, MDS, and client metrics. Never empty — when
+	// no WithSink option is given the run instruments a private sink.
+	Stats *obs.Snapshot
 }
 
 // Run executes a scenario on a fresh cluster.
+//
+// Deprecated for new code: Run panics on invalid scenarios; prefer RunE,
+// which returns typed errors (ErrInvalidScenario, ErrInvalidTopology).
 func Run(s Scenario) *RunResult {
-	s.applyDefaults()
-	cl := NewCluster(s.Topology, s.FSConfig)
-	if s.Target.Gen == nil || s.Target.Ranks <= 0 || len(s.Target.Nodes) == 0 {
-		panic("core: scenario needs a target workload")
+	res, err := RunE(s)
+	if err != nil {
+		panic(err)
 	}
+	return res
+}
+
+// RunE executes a scenario on a fresh cluster. It validates the scenario up
+// front, returning an error wrapping ErrInvalidScenario or
+// ErrInvalidTopology instead of panicking mid-run. The cluster is
+// instrumented on the WithSink option's sink, or on a private one, so
+// RunResult.Stats is always populated.
+func RunE(s Scenario, opts ...Option) (*RunResult, error) {
+	o := applyOptions(opts)
+	s.applyDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	sink := o.sink
+	if sink == nil {
+		sink = obs.New()
+	}
+	cl := NewCluster(s.Topology, s.FSConfig).Instrument(sink)
 	for i := 0; i < s.OSTSkew; i++ {
 		cl.FS.Populate(fmt.Sprintf("/.skew%d", i), 1, 1)
 	}
@@ -122,9 +212,6 @@ func Run(s Scenario) *RunResult {
 	var interfRunners []*workload.Runner
 	for i, spec := range s.Interference {
 		spec := spec
-		if spec.Ranks <= 0 || len(spec.Nodes) == 0 {
-			panic(fmt.Sprintf("core: interference %d incomplete", i))
-		}
 		r := &workload.Runner{
 			FS: cl.FS, Name: fmt.Sprintf("interference%d-%s", i, spec.Gen.Name()),
 			Nodes: spec.Nodes, Ranks: spec.Ranks, Gen: spec.Gen, Loop: true,
@@ -179,5 +266,6 @@ func Run(s Scenario) *RunResult {
 		v, _ := sm.Window(idx)
 		res.ServerWindows[idx] = v
 	}
-	return res
+	res.Stats = sink.Snapshot()
+	return res, nil
 }

@@ -1,0 +1,29 @@
+package core
+
+import "errors"
+
+// Sentinel errors returned by the error-returning API (RunE, CollectDatasetE,
+// TrainFrameworkE). Match with errors.Is; the returned errors wrap these with
+// detail about the offending field.
+var (
+	// ErrInvalidScenario reports a Scenario that cannot run: missing target
+	// workload, malformed window size, or incomplete interference specs.
+	ErrInvalidScenario = errors.New("core: invalid scenario")
+
+	// ErrInvalidTopology reports a partially specified cluster layout (an
+	// empty Topology is valid and defaults to PaperTopology).
+	ErrInvalidTopology = errors.New("core: invalid topology")
+
+	// ErrBaselineUnfinished reports that the interference-free baseline run
+	// of CollectDatasetE hit MaxTime before the target completed, so no
+	// degradation labels can be derived. Raise Scenario.MaxTime or shrink
+	// the target workload.
+	ErrBaselineUnfinished = errors.New("core: baseline run did not finish within MaxTime")
+
+	// ErrEmptyDataset reports a training request on a nil or empty dataset.
+	ErrEmptyDataset = errors.New("core: dataset has no samples")
+
+	// ErrBadFrameworkFile reports a framework file that is not in this
+	// build's persistence format (wrong format tag or version).
+	ErrBadFrameworkFile = errors.New("core: unrecognized framework file")
+)

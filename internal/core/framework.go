@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"quanterference/internal/dataset"
 	"quanterference/internal/label"
 	"quanterference/internal/ml"
@@ -34,7 +36,31 @@ type FrameworkConfig struct {
 // TrainFramework splits the dataset 80/20, standardizes on the training
 // portion, trains the model, and returns the framework plus the test-set
 // confusion matrix (the paper's Figures 3-5).
+//
+// Deprecated for new code: TrainFramework panics on empty datasets and bad
+// configs; prefer TrainFrameworkE, which returns typed errors.
 func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.Confusion) {
+	fw, cm, err := TrainFrameworkE(ds, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fw, cm
+}
+
+// TrainFrameworkE validates its inputs — a nil or empty dataset returns
+// ErrEmptyDataset (wrapped), a TestFrac outside [0, 1) is rejected — then
+// trains exactly as TrainFramework. WithBins overrides cfg.Bins.
+func TrainFrameworkE(ds *dataset.Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *ml.Confusion, error) {
+	o := applyOptions(opts)
+	if o.bins != nil {
+		cfg.Bins = *o.bins
+	}
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil, ErrEmptyDataset
+	}
+	if cfg.TestFrac < 0 || cfg.TestFrac >= 1 {
+		return nil, nil, fmt.Errorf("core: TestFrac %g outside [0, 1)", cfg.TestFrac)
+	}
 	if cfg.Bins.Thresholds == nil {
 		cfg.Bins = label.BinaryBins()
 	}
@@ -68,7 +94,7 @@ func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.C
 	ml.Train(model, train, cfg.Train)
 
 	fw := &Framework{Bins: cfg.Bins, Model: model, Scaler: scaler}
-	return fw, ml.Evaluate(model, test)
+	return fw, ml.Evaluate(model, test), nil
 }
 
 // Predict classifies one raw (unscaled) window matrix.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"quanterference/internal/label"
+	"quanterference/internal/obs"
+)
+
+// Option tunes the error-returning entry points (RunE, CollectDatasetE,
+// TrainFrameworkE). Options exist so a zero-valued config field ("use the
+// default") can be distinguished from an explicit setting: CollectorConfig's
+// MinOpsPerWindow == 0 silently means 3, whereas WithMinOpsPerWindow states
+// intent.
+type Option func(*options)
+
+type options struct {
+	sink     *obs.Sink
+	bins     *label.Bins
+	minOps   *int
+	baseline *bool
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// WithSink attaches an observability sink: every cluster the call builds is
+// instrumented on it, and RunResult.Stats snapshots it. When runs fan out
+// in parallel (CollectDatasetE variants), the shared sink aggregates across
+// them; all sink mutation is atomic, so this is race-free. Without this
+// option each run gets a private sink, so Stats is still populated.
+func WithSink(s *obs.Sink) Option {
+	return func(o *options) { o.sink = s }
+}
+
+// WithBins selects the degradation bins (default: the paper's binary >=2x).
+// Applies to CollectDatasetE and TrainFrameworkE.
+func WithBins(b label.Bins) Option {
+	return func(o *options) { bb := b; o.bins = &bb }
+}
+
+// WithMinOpsPerWindow sets the minimum matched operations a window needs to
+// be labelled (default 3; values below 1 are clamped to 1, which keeps every
+// window with at least one matched op). Applies to CollectDatasetE.
+func WithMinOpsPerWindow(n int) Option {
+	if n < 1 {
+		n = 1
+	}
+	return func(o *options) { nn := n; o.minOps = &nn }
+}
+
+// WithBaselineSamples includes the baseline run's own windows as label-0
+// samples (degradation 1.0), teaching the model what "no interference"
+// looks like. Applies to CollectDatasetE.
+func WithBaselineSamples(include bool) Option {
+	return func(o *options) { b := include; o.baseline = &b }
+}
+
+// applyCollector overlays explicitly set options onto a CollectorConfig.
+func (o *options) applyCollector(cfg *CollectorConfig) {
+	if o.bins != nil {
+		cfg.Bins = *o.bins
+	}
+	if o.minOps != nil {
+		cfg.MinOpsPerWindow = *o.minOps
+	}
+	if o.baseline != nil {
+		cfg.IncludeBaseline = *o.baseline
+	}
+}

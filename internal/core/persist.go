@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"quanterference/internal/dataset"
@@ -9,8 +10,20 @@ import (
 	"quanterference/internal/ml"
 )
 
+// FrameworkFormat tags framework files so unrelated JSON is rejected with a
+// descriptive error instead of being decoded into garbage weights.
+const FrameworkFormat = "quanterference.framework"
+
+// FrameworkFormatVersion is bumped whenever the on-disk layout changes
+// incompatibly. Version history:
+//
+//	1 — format/version header added; model spec, scaler, thresholds.
+const FrameworkFormatVersion = 1
+
 // frameworkSpec is the on-disk form of a trained Framework.
 type frameworkSpec struct {
+	Format     string          `json:"format"`
+	Version    int             `json:"version"`
 	Model      *ml.ModelSpec   `json:"model"`
 	Scaler     *dataset.Scaler `json:"scaler"`
 	Thresholds []float64       `json:"thresholds"`
@@ -29,13 +42,17 @@ func (f *Framework) Save(path string) error {
 	}
 	defer file.Close()
 	return json.NewEncoder(file).Encode(frameworkSpec{
+		Format:     FrameworkFormat,
+		Version:    FrameworkFormatVersion,
 		Model:      spec,
 		Scaler:     f.Scaler,
 		Thresholds: f.Bins.Thresholds,
 	})
 }
 
-// LoadFramework restores a framework written by Save.
+// LoadFramework restores a framework written by Save. Files without the
+// format header (including pre-versioned ones) or with a version this build
+// does not read return an error wrapping ErrBadFrameworkFile.
 func LoadFramework(path string) (*Framework, error) {
 	file, err := os.Open(path)
 	if err != nil {
@@ -44,7 +61,15 @@ func LoadFramework(path string) (*Framework, error) {
 	defer file.Close()
 	var spec frameworkSpec
 	if err := json.NewDecoder(file).Decode(&spec); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadFrameworkFile, path, err)
+	}
+	if spec.Format != FrameworkFormat {
+		return nil, fmt.Errorf("%w: %s: format %q, want %q (re-save with this build's Framework.Save)",
+			ErrBadFrameworkFile, path, spec.Format, FrameworkFormat)
+	}
+	if spec.Version != FrameworkFormatVersion {
+		return nil, fmt.Errorf("%w: %s: format version %d, this build reads version %d",
+			ErrBadFrameworkFile, path, spec.Version, FrameworkFormatVersion)
 	}
 	model, err := ml.Restore(spec.Model)
 	if err != nil {

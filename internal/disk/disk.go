@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -101,6 +102,15 @@ type Disk struct {
 	// arbitrarily slower.
 	slow  float64
 	stats Stats
+
+	// Observability handles; nil unless Instrument attached a sink.
+	sink         *obs.Sink
+	instance     string
+	cRequests    *obs.Counter
+	cSeqRequests *obs.Counter
+	cPosNS       *obs.Counter
+	cBusyNS      *obs.Counter
+	hServiceNS   *obs.Histogram
 }
 
 // New builds a disk. The zero Config gives the paper's 1 TB 7200 RPM drive.
@@ -115,6 +125,21 @@ func New(eng *sim.Engine, cfg Config) *Disk {
 		rng:  sim.NewRNG(cfg.Seed ^ 0x6b15),
 		slow: 1,
 	}
+}
+
+// Instrument registers device metrics on the sink under the given instance
+// name ("ost3", "mdt"): request and sequential-hit counts, time split into
+// positioning (seek+rotation) vs total busy time — the paper's dominant
+// interference mechanism is exactly this split degrading — and a
+// service-time histogram. Each serviced request also becomes a trace span.
+func (d *Disk) Instrument(s *obs.Sink, instance string) {
+	d.sink = s
+	d.instance = instance
+	d.cRequests = s.Counter("disk", instance, "requests")
+	d.cSeqRequests = s.Counter("disk", instance, "seq_requests")
+	d.cPosNS = s.Counter("disk", instance, "positioning_ns")
+	d.cBusyNS = s.Counter("disk", instance, "busy_ns")
+	d.hServiceNS = s.Histogram("disk", instance, "service_ns", obs.TimeBuckets())
 }
 
 // SetSlowdown injects (or clears, with factor 1) a fail-slow condition:
@@ -183,9 +208,15 @@ func (d *Disk) Submit(r *Request) {
 	d.stats.Requests++
 	if positioning == 0 {
 		d.stats.SeqRequests++
+		d.cSeqRequests.Inc()
 	}
 	d.stats.SeekTime += positioning
 	d.stats.BusyTime += total
+	d.cRequests.Inc()
+	d.cPosNS.Add(uint64(positioning))
+	d.cBusyNS.Add(uint64(total))
+	d.hServiceNS.Observe(float64(total))
+	d.sink.Span("disk", d.instance, r.Op.String(), d.eng.Now(), total)
 	if r.Op == Read {
 		d.stats.SectorsRead += uint64(r.Sectors)
 	} else {

@@ -3,6 +3,7 @@ package lustre
 import (
 	"fmt"
 
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -17,6 +18,13 @@ type Client struct {
 	slots []*sim.Resource // one per target (OSTs then MDT)
 	// bucket throttles bulk data when a QoS rule is set (see SetRateLimit).
 	bucket *tokenBucket
+
+	// Readahead-efficiency counters (the Darshan-style client view);
+	// nil unless instrument attached a sink.
+	cRAHit      *obs.Counter
+	cRAWait     *obs.Counter
+	cRAMiss     *obs.Counter
+	cRAPrefetch *obs.Counter
 }
 
 // Handle is an open file with its layout cached client-side, plus the
@@ -44,6 +52,17 @@ func newClient(fs *FS, node string) *Client {
 		c.slots[i] = sim.NewResource(fs.Eng, fs.cfg.MaxRPCsInFlight)
 	}
 	return c
+}
+
+// instrument registers readahead-efficiency counters under the client's
+// node name: reads fully served from prefetched data (hit), reads that had
+// to wait on an in-flight prefetch (wait), reads that bypassed the window
+// entirely (miss), and chunks prefetched.
+func (c *Client) instrument(s *obs.Sink) {
+	c.cRAHit = s.Counter("client", c.Node, "ra_hits")
+	c.cRAWait = s.Counter("client", c.Node, "ra_waits")
+	c.cRAMiss = s.Counter("client", c.Node, "ra_misses")
+	c.cRAPrefetch = s.Counter("client", c.Node, "ra_prefetches")
 }
 
 // metaRPC performs a metadata round trip to the MDS.
@@ -293,10 +312,14 @@ func (c *Client) Read(h *Handle, off, length int64, done func()) {
 			}
 		}
 		if pending == 0 {
+			c.cRAHit.Inc()
 			// Entirely cache-resident: page-cache copy cost only.
 			c.fs.Eng.Schedule(c.fs.cfg.CacheHitTime, finish)
+		} else {
+			c.cRAWait.Inc()
 		}
 	} else {
+		c.cRAMiss.Inc()
 		c.dataOp(h, off, length, false, finish)
 	}
 	if sequential {
@@ -331,6 +354,7 @@ func (h *Handle) extendRA(from, n int64) {
 		}
 		e := &raChunk{end: chunk + length}
 		h.ra[chunk] = e
+		h.c.cRAPrefetch.Inc()
 		h.c.dataOp(h, chunk, length, false, func() {
 			e.done = true
 			for _, w := range e.waiters {

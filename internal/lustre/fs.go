@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"quanterference/internal/netsim"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -67,6 +68,24 @@ func New(eng *sim.Engine, net *netsim.Network, topo Topology, cfg Config) *FS {
 		fs.clients[cn] = newClient(fs, cn)
 	}
 	return fs
+}
+
+// Instrument registers observability metrics for every server and client on
+// the sink: per-OST write-back cache and block-layer/disk metrics, MDS op
+// latency histograms and cache counters, and per-client readahead
+// efficiency. Instances are named after TargetName ("ost0".."ostN", "mdt")
+// and client node names. Attach the sink before running workloads; events
+// prior to instrumentation are not counted.
+func (fs *FS) Instrument(s *obs.Sink) {
+	for i, o := range fs.osts {
+		o.instrument(s, fs.TargetName(i))
+	}
+	fs.mds.instrument(s)
+	for _, cn := range fs.topo.Clients {
+		if c, ok := fs.clients[cn]; ok {
+			c.instrument(s)
+		}
+	}
 }
 
 // Config returns the effective configuration.

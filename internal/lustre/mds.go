@@ -6,6 +6,7 @@ import (
 
 	"quanterference/internal/blockqueue"
 	"quanterference/internal/disk"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -71,6 +72,13 @@ type MDS struct {
 	stats MDSStats
 	// destroyObjects releases a removed file's OST objects (set by FS).
 	destroyObjects func(*Inode)
+
+	// Observability handles; nil unless instrument attached a sink.
+	sink     *obs.Sink
+	cHits    *obs.Counter
+	cMisses  *obs.Counter
+	cJournal *obs.Counter
+	hOpNS    [len(metaOpNames)]*obs.Histogram
 }
 
 func newMDS(eng *sim.Engine, cfg *Config, node string, nOSTs int, seed int64) *MDS {
@@ -93,6 +101,22 @@ func newMDS(eng *sim.Engine, cfg *Config, node string, nOSTs int, seed int64) *M
 		tableBase:  journalLen,
 		tableLen:   (int64(1) << 31) - journalLen,
 		nOSTs:      nOSTs,
+	}
+}
+
+// instrument registers metadata-server metrics and instruments the MDT's
+// block queue + disk: inode-cache hit/miss counters, journal-write counts,
+// and one service-latency histogram per metadata op kind (arrival at the
+// server through reply, including thread-pool queueing — the MDS op latency
+// the paper's mdt rows contend on). Each op becomes a trace span.
+func (m *MDS) instrument(s *obs.Sink) {
+	m.q.Instrument(s, "mdt")
+	m.sink = s
+	m.cHits = s.Counter("mds", "mdt", "cache_hits")
+	m.cMisses = s.Counter("mds", "mdt", "cache_misses")
+	m.cJournal = s.Counter("mds", "mdt", "journal_ops")
+	for op, name := range metaOpNames {
+		m.hOpNS[op] = s.Histogram("mds", "mdt", name+"_ns", obs.TimeBuckets())
 	}
 }
 
@@ -132,6 +156,7 @@ func (m *MDS) cacheDrop(path string) {
 // journalWrite appends to the (circular) journal; sequential by design.
 func (m *MDS) journalWrite(done func()) {
 	m.stats.JournalOps++
+	m.cJournal.Inc()
 	sectors := m.cfg.MDTJournalSectors
 	if m.journalHead+sectors > m.journalLen {
 		m.journalHead = 0
@@ -144,6 +169,7 @@ func (m *MDS) journalWrite(done func()) {
 // inodeRead fetches an inode record from the table (a cache miss).
 func (m *MDS) inodeRead(ino *Inode, done func()) {
 	m.stats.CacheMisses++
+	m.cMisses.Inc()
 	m.q.Submit(disk.Read, ino.inodeSector, m.cfg.InodeReadSectors, done)
 }
 
@@ -179,9 +205,13 @@ func (m *MDS) allocInode(path string, dir bool, stripeCount int) *Inode {
 // handle services one metadata RPC after it has arrived at the server.
 // reply receives the resulting inode (nil for unlink).
 func (m *MDS) handle(op MetaOp, path string, stripeCount int, reply func(*Inode)) {
+	arrival := m.eng.Now()
 	m.Threads.Acquire(func() {
 		m.stats.Ops++
 		finish := func(ino *Inode) {
+			latency := m.eng.Now() - arrival
+			m.hOpNS[op].Observe(float64(latency))
+			m.sink.Span("mds", "mdt", op.String(), arrival, latency)
 			m.Threads.Release()
 			reply(ino)
 		}
@@ -201,6 +231,7 @@ func (m *MDS) handle(op MetaOp, path string, stripeCount int, reply func(*Inode)
 				}
 				if m.cacheTouch(path) {
 					m.stats.CacheHits++
+					m.cHits.Inc()
 					finish(ino)
 					return
 				}

@@ -6,6 +6,7 @@ import (
 
 	"quanterference/internal/blockqueue"
 	"quanterference/internal/disk"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -34,9 +35,10 @@ type dirtyExtent struct {
 }
 
 type writeWaiter struct {
-	bytes int64
-	runs  []run
-	done  func()
+	bytes    int64
+	runs     []run
+	done     func()
+	enqueued sim.Time
 }
 
 // OSS is one object storage server: a network node, a service-thread pool,
@@ -68,6 +70,16 @@ type OST struct {
 	// Cumulative stats for monitors and tests.
 	writesAdmitted  uint64
 	writesThrottled uint64
+
+	// Observability handles; nil unless instrument attached a sink.
+	sink        *obs.Sink
+	name        string
+	cAdmitted   *obs.Counter
+	cThrottled  *obs.Counter
+	cFlushes    *obs.Counter
+	cFlushedSec *obs.Counter
+	gDirtyMax   *obs.Gauge
+	hThrottleNS *obs.Histogram
 }
 
 func newOST(eng *sim.Engine, cfg *Config, id int, oss *OSS, seed int64) *OST {
@@ -84,6 +96,24 @@ func newOST(eng *sim.Engine, cfg *Config, id int, oss *OSS, seed int64) *OST {
 		ID: id, OSS: oss, eng: eng, cfg: cfg, q: q,
 		objects: make(map[uint64]*object),
 	}
+}
+
+// instrument registers write-back cache metrics under the target name
+// ("ost3") and instruments the block queue + disk below it: writes admitted
+// vs throttled (cache full), flush operations and sectors, the dirty-bytes
+// high-water mark, and how long throttled writes waited for cache space.
+// Flushes become trace spans, making write-back drains visible next to the
+// foreground requests that contend with them.
+func (o *OST) instrument(s *obs.Sink, name string) {
+	o.q.Instrument(s, name)
+	o.sink = s
+	o.name = name
+	o.cAdmitted = s.Counter("ost", name, "writes_admitted")
+	o.cThrottled = s.Counter("ost", name, "writes_throttled")
+	o.cFlushes = s.Counter("ost", name, "flushes")
+	o.cFlushedSec = s.Counter("ost", name, "flushed_sectors")
+	o.gDirtyMax = s.Gauge("ost", name, "max_dirty_bytes")
+	o.hThrottleNS = s.Histogram("ost", name, "throttle_wait_ns", obs.TimeBuckets())
 }
 
 // Queue exposes the request queue for the server-side monitor.
@@ -180,7 +210,9 @@ func (o *OST) write(objID uint64, off, length int64, done func()) {
 	if len(o.waiters) > 0 ||
 		(o.dirtyBytes > 0 && o.dirtyBytes+length > o.cfg.WritebackLimit) {
 		o.writesThrottled++
-		o.waiters = append(o.waiters, writeWaiter{bytes: length, runs: runs, done: done})
+		o.cThrottled.Inc()
+		o.waiters = append(o.waiters, writeWaiter{
+			bytes: length, runs: runs, done: done, enqueued: o.eng.Now()})
 		return
 	}
 	o.admit(length, runs, done)
@@ -189,7 +221,9 @@ func (o *OST) write(objID uint64, off, length int64, done func()) {
 // admit does the unconditional cache bookkeeping; callers check space.
 func (o *OST) admit(bytes int64, runs []run, done func()) {
 	o.writesAdmitted++
+	o.cAdmitted.Inc()
 	o.dirtyBytes += bytes
+	o.gDirtyMax.Max(float64(o.dirtyBytes))
 	per := bytes / int64(len(runs)) // attribute payload evenly across runs
 	rem := bytes - per*int64(len(runs))
 	for i, r := range runs {
@@ -208,9 +242,13 @@ func (o *OST) scheduleFlush() {
 		ext := o.dirtyExtents[0]
 		o.dirtyExtents = o.dirtyExtents[1:]
 		o.flushInFlight++
+		o.cFlushes.Inc()
+		o.cFlushedSec.Add(uint64(ext.length))
+		start := o.eng.Now()
 		o.q.Submit(disk.Write, ext.sector, ext.length, func() {
 			o.flushInFlight--
 			o.dirtyBytes -= ext.bytes
+			o.sink.Span("ost", o.name, "flush", start, o.eng.Now()-start)
 			o.wakeWaiters()
 			o.scheduleFlush()
 		})
@@ -224,6 +262,7 @@ func (o *OST) wakeWaiters() {
 			return
 		}
 		o.waiters = o.waiters[1:]
+		o.hThrottleNS.Observe(float64(o.eng.Now() - w.enqueued))
 		o.admit(w.bytes, w.runs, w.done)
 	}
 }

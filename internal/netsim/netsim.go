@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -58,6 +59,8 @@ type flow struct {
 	remaining float64 // bytes
 	rate      float64 // bytes/sec, recomputed on every change
 	done      func()
+	start     sim.Time // creation time, for observability
+	bytes     int64    // original size, for observability
 }
 
 // NodeStats reports cumulative traffic through a node.
@@ -76,6 +79,14 @@ type Network struct {
 	lastAdvance sim.Time
 	gen         uint64 // invalidates stale completion events
 	nextFlowID  uint64
+
+	// Observability handles; nil unless Instrument attached a sink.
+	sink        *obs.Sink
+	cFlows      *obs.Counter
+	cBytes      *obs.Counter
+	cRecomputes *obs.Counter
+	gActiveMax  *obs.Gauge
+	hFlowNS     *obs.Histogram
 }
 
 // New creates an empty network.
@@ -87,6 +98,21 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		nodes: make(map[string]*node),
 		flows: make(map[*flow]struct{}),
 	}
+}
+
+// Instrument registers fabric metrics on the sink: flow and byte counters,
+// the number of max-min fair-share recomputations (each one is a throttling
+// decision redistributing NIC bandwidth), the peak concurrent-flow count,
+// and a flow-duration histogram. With tracing enabled, every completed flow
+// becomes a span on its destination node's row — a saturated server ingress
+// NIC shows up as a solid bar of overlapping flows.
+func (n *Network) Instrument(s *obs.Sink) {
+	n.sink = s
+	n.cFlows = s.Counter("netsim", "", "flows")
+	n.cBytes = s.Counter("netsim", "", "bytes")
+	n.cRecomputes = s.Counter("netsim", "", "fair_share_recomputes")
+	n.gActiveMax = s.Gauge("netsim", "", "max_active_flows")
+	n.hFlowNS = s.Histogram("netsim", "", "flow_ns", obs.TimeBuckets())
 }
 
 // AddNode registers a node; bps == 0 uses the default NIC speed.
@@ -145,11 +171,15 @@ func (n *Network) Transfer(src, dst string, bytes int64, done func()) {
 	s.bytesSent += uint64(bytes)
 	d.bytesRecv += uint64(bytes)
 	n.nextFlowID++
-	f := &flow{id: n.nextFlowID, src: s, dst: d, remaining: float64(bytes), done: done}
+	f := &flow{id: n.nextFlowID, src: s, dst: d, remaining: float64(bytes), done: done,
+		start: n.eng.Now(), bytes: bytes}
+	n.cFlows.Inc()
+	n.cBytes.Add(uint64(bytes))
 	n.advance()
 	n.flows[f] = struct{}{}
 	s.up.flows[f] = struct{}{}
 	d.down.flows[f] = struct{}{}
+	n.gActiveMax.Max(float64(len(n.flows)))
 	n.reschedule()
 }
 
@@ -174,6 +204,7 @@ func (n *Network) recompute() {
 	if len(n.flows) == 0 {
 		return
 	}
+	n.cRecomputes.Inc()
 	type linkState struct {
 		remCap   float64
 		unfrozen int
@@ -276,10 +307,16 @@ func (n *Network) finishDrained() {
 	// Map iteration order is random; completion order must be stable for
 	// the simulation to be reproducible.
 	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	now := n.eng.Now()
+	traceOn := n.sink.TraceEnabled()
 	for _, f := range finished {
 		delete(n.flows, f)
 		delete(f.src.up.flows, f)
 		delete(f.dst.down.flows, f)
+		n.hFlowNS.Observe(float64(now - f.start))
+		if traceOn {
+			n.sink.Span("netsim", f.dst.name, "flow:"+f.src.name, f.start, now-f.start)
+		}
 	}
 	n.reschedule()
 	for _, f := range finished {

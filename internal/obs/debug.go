@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sort"
+)
+
+// DebugHandler returns an http.Handler exposing:
+//
+//	/debug/pprof/...  — the standard Go profiling endpoints
+//	/metrics          — Go runtime/metrics plus every sink metric, as text
+//
+// The sinks are optional; pass the run's Sink(s) to expose simulator
+// counters next to the runtime's.
+func DebugHandler(sinks ...*Sink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeRuntimeMetrics(w)
+		for _, s := range sinks {
+			if snap := s.Snapshot(); !snap.Empty() {
+				fmt.Fprintf(w, "\n# simulator metrics\n%s", snap.Render())
+			}
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "quanterference debug server: /metrics, /debug/pprof/")
+	})
+	return mux
+}
+
+// ServeDebug starts the debug server on addr (e.g. "localhost:6060") and
+// blocks; run it in a goroutine. Returns the http server error on failure.
+func ServeDebug(addr string, sinks ...*Sink) error {
+	return http.ListenAndServe(addr, DebugHandler(sinks...))
+}
+
+func writeRuntimeMetrics(w http.ResponseWriter) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	fmt.Fprintln(w, "# go runtime metrics")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%-60s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%-60s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			fmt.Fprintf(w, "%-60s histogram n=%d\n", s.Name, n)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugHandler(t *testing.T) {
+	sink := New()
+	sink.Counter("disk", "d0", "requests").Add(42)
+	srv := httptest.NewServer(DebugHandler(sink))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"# go runtime metrics", "/gc/heap/allocs:bytes", "# simulator metrics", "disk/d0/requests"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// span is one completed simulation activity. Timestamps are simulated
+// nanoseconds (sim.Time is an int64 alias, so obs needs no sim import).
+type span struct {
+	key   Key
+	start int64
+	dur   int64
+	seq   uint64 // insertion order: tie-breaker for deterministic export
+}
+
+// traceBuf is a bounded buffer of spans. Appends past the limit are counted
+// as dropped rather than growing without bound.
+type traceBuf struct {
+	mu      sync.Mutex
+	limit   int
+	seq     uint64
+	spans   []span
+	dropped uint64
+}
+
+// DefaultTraceLimit bounds the trace buffer when EnableTrace is called with
+// a non-positive limit: 1M spans, ~50 MB in memory.
+const DefaultTraceLimit = 1 << 20
+
+// EnableTrace turns on span collection, keeping at most limit spans
+// (DefaultTraceLimit when limit <= 0). No-op on a nil sink.
+func (s *Sink) EnableTrace(limit int) {
+	if s == nil {
+		return
+	}
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trace == nil {
+		s.trace = &traceBuf{limit: limit}
+	} else {
+		s.trace.limit = limit
+	}
+}
+
+// TraceEnabled reports whether spans are being collected. Callers that must
+// build span names dynamically (allocating) should check this first; spans
+// with constant names can call Span unconditionally.
+func (s *Sink) TraceEnabled() bool {
+	return s != nil && s.trace != nil
+}
+
+// Span records one completed activity of a component instance: it started at
+// simulated time start (ns) and lasted dur (ns). A no-op unless tracing is
+// enabled; always safe on a nil sink.
+func (s *Sink) Span(component, instance, name string, start, dur int64) {
+	if s == nil || s.trace == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.seq++
+	t.spans = append(t.spans, span{
+		key:   Key{component, instance, name},
+		start: start,
+		dur:   dur,
+		seq:   t.seq,
+	})
+	t.mu.Unlock()
+}
+
+// TraceDropped returns how many spans were discarded at the buffer limit.
+func (s *Sink) TraceDropped() uint64 {
+	if s == nil || s.trace == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return s.trace.dropped
+}
+
+// TraceSpans returns the number of collected spans.
+func (s *Sink) TraceSpans() int {
+	if s == nil || s.trace == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return len(s.trace.spans)
+}
+
+// traceEvent is one entry of the Chrome trace-event JSON format.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace-event JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports collected spans as Chrome trace-event JSON, loadable in
+// about:tracing or Perfetto. Each (component, instance) pair becomes one
+// named thread row; spans become complete ("X") events with microsecond
+// timestamps. The export is deterministic: rows are sorted by name, events
+// by (start, insertion order).
+func (s *Sink) WriteTrace(w io.Writer) error {
+	file := traceFile{DisplayTimeUnit: "ms"}
+	var spans []span
+	if s != nil && s.trace != nil {
+		s.trace.mu.Lock()
+		spans = append(spans, s.trace.spans...)
+		s.trace.mu.Unlock()
+	}
+
+	// Assign a thread id per (component, instance), sorted for determinism.
+	type row struct {
+		component, instance string
+	}
+	rowSet := map[row]struct{}{}
+	for _, sp := range spans {
+		rowSet[row{sp.key.Component, sp.key.Instance}] = struct{}{}
+	}
+	rows := make([]row, 0, len(rowSet))
+	for r := range rowSet {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].component != rows[j].component {
+			return rows[i].component < rows[j].component
+		}
+		return rows[i].instance < rows[j].instance
+	})
+	tids := make(map[row]int, len(rows))
+	const pid = 1
+	file.TraceEvents = append(file.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": "quanterference simulation"},
+	})
+	for i, r := range rows {
+		tid := i + 1
+		tids[r] = tid
+		name := r.component
+		if r.instance != "" {
+			name = r.component + "/" + r.instance
+		}
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].seq < spans[j].seq
+	})
+	for _, sp := range spans {
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: sp.key.Name,
+			Cat:  sp.key.Component,
+			Ph:   "X",
+			Ts:   float64(sp.start) / 1e3,
+			Dur:  float64(sp.dur) / 1e3,
+			Pid:  pid,
+			Tid:  tids[row{sp.key.Component, sp.key.Instance}],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

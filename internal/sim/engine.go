@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"quanterference/internal/obs"
 )
 
 // Time is a simulated timestamp in nanoseconds since the start of the run.
@@ -73,11 +75,25 @@ type Engine struct {
 	stopped bool
 	// executed counts events that have run; useful for progress assertions.
 	executed uint64
+
+	// Observability handles; nil (one branch per event) unless Instrument
+	// attached a sink.
+	cEvents    *obs.Counter
+	cScheduled *obs.Counter
+	gQueueMax  *obs.Gauge
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Instrument registers the engine's metrics on the sink: events executed,
+// events scheduled, and the maximum event-queue depth seen.
+func (e *Engine) Instrument(s *obs.Sink) {
+	e.cEvents = s.Counter("engine", "", "events_executed")
+	e.cScheduled = s.Counter("engine", "", "events_scheduled")
+	e.gQueueMax = s.Gauge("engine", "", "max_queue_depth")
 }
 
 // Now returns the current simulated time.
@@ -109,6 +125,8 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.cScheduled.Inc()
+	e.gQueueMax.Max(float64(len(e.events)))
 }
 
 // Step executes the next event, if any, and reports whether one ran.
@@ -119,6 +137,7 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.executed++
+	e.cEvents.Inc()
 	ev.fn()
 	return true
 }

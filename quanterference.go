@@ -14,14 +14,25 @@
 // in internal/ packages. Typical use:
 //
 //	// Measure a workload under interference.
-//	res := quanterference.Run(quanterference.Scenario{ ... })
+//	res, err := quanterference.RunE(quanterference.Scenario{ ... })
 //
 //	// Collect a labelled dataset (§III-D) and train the model.
-//	ds := quanterference.CollectDataset(base, variants, quanterference.CollectorConfig{})
-//	fw, confusion := quanterference.TrainFramework(ds, quanterference.FrameworkConfig{})
+//	ds, err := quanterference.CollectDatasetE(base, variants,
+//		quanterference.CollectorConfig{}, quanterference.WithBaselineSamples(true))
+//	fw, confusion, err := quanterference.TrainFrameworkE(ds, quanterference.FrameworkConfig{})
 //
 //	// Predict online.
 //	class, probs := fw.Predict(windowMatrix)
+//
+//	// Observe the simulator itself: metrics + Chrome trace-event export.
+//	sink := quanterference.NewSink()
+//	sink.EnableTrace(0)
+//	res, err = quanterference.RunE(scenario, quanterference.WithSink(sink))
+//	_ = sink.WriteTrace(file) // open in about:tracing / Perfetto
+//
+// Run, CollectDataset, and TrainFramework are the original panic-on-error
+// entry points, kept as thin wrappers for existing callers; new code should
+// use the error-returning RunE/CollectDatasetE/TrainFrameworkE.
 //
 // The experiment drivers that regenerate every table and figure of the
 // paper are exposed as TableI, Figure1a/b, TableII, Figure3a/b, Figure4,
@@ -36,6 +47,7 @@ import (
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
 	"quanterference/internal/monitor/window"
+	"quanterference/internal/obs"
 	"quanterference/internal/sim"
 )
 
@@ -75,23 +87,78 @@ type (
 
 	// Time is a simulated timestamp/duration in nanoseconds.
 	Time = sim.Time
+
+	// Sink is the observability layer: a metrics registry plus a trace
+	// collector with Chrome trace-event export. Attach one with WithSink.
+	Sink = obs.Sink
+	// Stats is a point-in-time metrics snapshot (RunResult.Stats).
+	Stats = obs.Snapshot
+	// Option tunes RunE/CollectDatasetE/TrainFrameworkE.
+	Option = core.Option
 )
+
+// Typed errors returned by the error-returning API; match with errors.Is.
+var (
+	ErrInvalidScenario    = core.ErrInvalidScenario
+	ErrInvalidTopology    = core.ErrInvalidTopology
+	ErrBaselineUnfinished = core.ErrBaselineUnfinished
+	ErrEmptyDataset       = core.ErrEmptyDataset
+	ErrBadFrameworkFile   = core.ErrBadFrameworkFile
+)
+
+// NewSink returns an empty observability sink.
+func NewSink() *Sink { return obs.New() }
+
+// Functional options for the error-returning entry points.
+func WithSink(s *Sink) Option            { return core.WithSink(s) }
+func WithBins(b Bins) Option             { return core.WithBins(b) }
+func WithMinOpsPerWindow(n int) Option   { return core.WithMinOpsPerWindow(n) }
+func WithBaselineSamples(on bool) Option { return core.WithBaselineSamples(on) }
 
 // NewCluster builds a fresh simulated cluster.
 func NewCluster(topo Topology, cfg Config) *Cluster { return core.NewCluster(topo, cfg) }
 
 // Run executes a scenario on a fresh cluster.
+//
+// Deprecated for new code: Run panics on invalid scenarios; prefer RunE.
 func Run(s Scenario) *RunResult { return core.Run(s) }
 
+// RunE executes a scenario on a fresh cluster, returning typed errors
+// (ErrInvalidScenario, ErrInvalidTopology) instead of panicking. The
+// cluster is instrumented on WithSink's sink (or a private one), so
+// RunResult.Stats is always populated.
+func RunE(s Scenario, opts ...Option) (*RunResult, error) { return core.RunE(s, opts...) }
+
 // CollectDataset implements the paper's §III-D data generation.
+//
+// Deprecated for new code: CollectDataset panics when the baseline does not
+// finish; prefer CollectDatasetE.
 func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *Dataset {
 	return core.CollectDataset(base, variants, cfg)
 }
 
+// CollectDatasetE implements §III-D data generation, returning
+// ErrBaselineUnfinished (wrapped) when the baseline hits MaxTime and
+// scenario-validation errors instead of panicking. Options override the
+// config's ambiguous zero values (WithBins, WithMinOpsPerWindow,
+// WithBaselineSamples); WithSink aggregates metrics across all runs.
+func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*Dataset, error) {
+	return core.CollectDatasetE(base, variants, cfg, opts...)
+}
+
 // TrainFramework trains the kernel-based model with the paper's 80/20 split
 // and returns the framework plus the held-out confusion matrix.
+//
+// Deprecated for new code: TrainFramework panics on empty datasets; prefer
+// TrainFrameworkE.
 func TrainFramework(ds *Dataset, cfg FrameworkConfig) (*Framework, *Confusion) {
 	return core.TrainFramework(ds, cfg)
+}
+
+// TrainFrameworkE trains like TrainFramework but returns ErrEmptyDataset on
+// nil/empty input and rejects malformed configs with an error.
+func TrainFrameworkE(ds *Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *Confusion, error) {
+	return core.TrainFrameworkE(ds, cfg, opts...)
 }
 
 // WindowMatrix is one time window's per-server feature vectors.
