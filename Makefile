@@ -13,10 +13,13 @@ tier1: build test
 
 # verify adds static analysis and the race detector — required before any
 # change to internal/obs or the instrumentation hot paths, since a shared
-# Sink is mutated from par.Map worker goroutines.
+# Sink is mutated from par.Map worker goroutines. The focused -count=1 race
+# pass re-runs the concurrency-critical packages uncached (par's fan-out,
+# obs's shared sink, fault's injection across parallel variant runs).
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'

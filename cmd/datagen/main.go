@@ -5,7 +5,13 @@
 // Usage:
 //
 //	datagen -dataset io500|dlio|enzo|amrex|openpmd [-scale 1.0] [-window 1]
-//	        [-seed 42] -out dataset.json
+//	        [-seed 42] [-faults disk-slow:ost0:10:30:4] [-rpc-timeout 0.5]
+//	        -out dataset.json
+//
+// -faults injects the same deterministic degraded-mode episodes into every
+// collection run, generating training data from a reproducibly sick cluster.
+// Variants whose runs cannot finish under the faults are skipped and
+// reported, not fatal.
 package main
 
 import (
@@ -13,27 +19,41 @@ import (
 	"fmt"
 	"os"
 
+	"quanterference/internal/core"
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
+	"quanterference/internal/fault"
 	"quanterference/internal/sim"
 	"quanterference/internal/workload/apps"
 )
 
 var (
-	which  = flag.String("dataset", "io500", "io500, dlio, enzo, amrex, or openpmd")
-	scale  = flag.Float64("scale", 1.0, "workload volume scale")
-	window = flag.Int("window", 1, "aggregation window in seconds")
-	seed   = flag.Int64("seed", 42, "root random seed")
-	out    = flag.String("out", "dataset.json", "output JSON path")
-	csvOut = flag.String("csv", "", "also write a flat CSV view to this path")
+	which     = flag.String("dataset", "io500", "io500, dlio, enzo, amrex, or openpmd")
+	scale     = flag.Float64("scale", 1.0, "workload volume scale")
+	window    = flag.Int("window", 1, "aggregation window in seconds")
+	seed      = flag.Int64("seed", 42, "root random seed")
+	out       = flag.String("out", "dataset.json", "output JSON path")
+	csvOut    = flag.String("csv", "", "also write a flat CSV view to this path")
+	faultsArg = flag.String("faults", "", "comma-separated fault episodes injected into every run, each kind:target:start:duration[:severity] with times in seconds")
+	rpcTO     = flag.Float64("rpc-timeout", 0, "client bulk-RPC timeout in seconds (0 = no timeouts)")
 )
 
 func main() {
 	flag.Parse()
+	var report core.CollectReport
 	cfg := experiments.DatasetConfig{
-		Scale:  experiments.Scale(*scale),
-		Window: sim.Time(*window) * sim.Second,
-		Seed:   *seed,
+		Scale:      experiments.Scale(*scale),
+		Window:     sim.Time(*window) * sim.Second,
+		Seed:       *seed,
+		RPCTimeout: sim.Seconds(*rpcTO),
+		Report:     &report,
+	}
+	if *faultsArg != "" {
+		specs, err := fault.ParseSpecs(*faultsArg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = specs
 	}
 	var ds *dataset.Dataset
 	switch *which {
@@ -58,6 +78,13 @@ func main() {
 	}
 	fmt.Printf("dataset %s: %d samples, class balance %v, %d targets x %d features -> %s\n",
 		*which, ds.Len(), ds.ClassCounts(), ds.NTargets, len(ds.FeatureNames), *out)
+	if len(report.Skipped) > 0 {
+		fmt.Printf("variant runs: %d/%d completed, %d skipped:\n",
+			report.Completed, report.Variants, len(report.Skipped))
+		for _, sk := range report.Skipped {
+			fmt.Printf("  %s: %v\n", sk.Name, sk.Err)
+		}
+	}
 }
 
 func fatal(err error) {

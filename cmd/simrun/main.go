@@ -9,6 +9,11 @@
 //	       [-interference ior-easy-read -instances 3 -iranks 6]
 //	       [-scale 1.0] [-maxtime 300] [-trace run.dxt]
 //	       [-trace-events run.json] [-stats]
+//	       [-faults disk-slow:ost0:10:5:4,mds-storm:mdt:0:20:8] [-rpc-timeout 0.5]
+//
+// -faults injects deterministic degraded-mode episodes (fail-slow disk, OST
+// stall, cache squeeze, MDS storm, NIC collapse); -rpc-timeout arms the
+// clients' timeout/retry path so the run reports degraded-mode counters.
 //
 // -trace-events writes a Chrome trace-event file of the simulator's own
 // internals (disk service, block-queue latency, network flows, OST flushes,
@@ -27,6 +32,7 @@ import (
 	"sort"
 
 	"quanterference/internal/core"
+	"quanterference/internal/fault"
 	"quanterference/internal/monitor/clientmon"
 	"quanterference/internal/obs"
 	"quanterference/internal/sim"
@@ -46,6 +52,8 @@ var (
 	profile   = flag.Bool("profile", false, "print a Darshan-style per-file profile of the target")
 	eventPath = flag.String("trace-events", "", "write a Chrome trace-event JSON of simulator internals to this file")
 	stats     = flag.Bool("stats", false, "print the end-of-run observability counters")
+	faults    = flag.String("faults", "", "comma-separated fault episodes, each kind:target:start:duration[:severity] with times in seconds (e.g. disk-slow:ost0:10:5:4)")
+	rpcTO     = flag.Float64("rpc-timeout", 0, "client bulk-RPC timeout in seconds (0 = no timeouts; set alongside -faults to exercise retries)")
 )
 
 func main() {
@@ -62,6 +70,14 @@ func main() {
 		},
 		MaxTime: sim.Seconds(*maxTime),
 	}
+	if *faults != "" {
+		specs, err := fault.ParseSpecs(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		scenario.Faults = specs
+	}
+	scenario.FSConfig.RPCTimeout = sim.Seconds(*rpcTO)
 	if *interf != "" {
 		for i := 0; i < *instances; i++ {
 			igen, err := registry.Resolve(*interf, registry.Spec{
@@ -115,8 +131,16 @@ func main() {
 		fmt.Printf("wrote %d trace records to %s\n", tw.Count(), *tracePath)
 	}
 	fmt.Printf("target %s ranks=%d interference=%q x%d\n", *target, *ranks, *interf, *instances)
-	fmt.Printf("finished=%v duration=%.3fs ops=%d windows=%d\n\n",
+	fmt.Printf("finished=%v duration=%.3fs ops=%d windows=%d\n",
 		res.Finished, sim.ToSeconds(res.Duration), len(res.Records), len(res.Windows))
+	if len(scenario.Faults) > 0 {
+		fmt.Printf("faults injected=%d timeouts=%d retries=%d degraded_ops=%d\n",
+			res.Stats.CounterTotal("fault", "injected"),
+			res.Stats.CounterTotal("client", "timeouts"),
+			res.Stats.CounterTotal("client", "retries"),
+			res.Stats.CounterTotal("client", "degraded_ops"))
+	}
+	fmt.Println()
 
 	// Per-op-kind latency profile.
 	type agg struct {

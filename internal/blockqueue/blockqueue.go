@@ -92,6 +92,10 @@ type Queue struct {
 	pending    []*ioReq
 	dispatched *ioReq
 	counters   Counters
+	// frozen suspends dispatch until the given time (a fault-injected
+	// brown-out); submissions and merges continue, so the backlog and the
+	// queue-time integrals keep accounting through the stall.
+	frozen sim.Time
 
 	lastAccount   sim.Time
 	consecReads   int
@@ -104,6 +108,7 @@ type Queue struct {
 	cSubmits   *obs.Counter
 	cDispatch  *obs.Counter
 	cMerges    *obs.Counter
+	cFreezes   *obs.Counter
 	gDepthMax  *obs.Gauge
 	hLatencyNS *obs.Histogram
 }
@@ -127,6 +132,7 @@ func (q *Queue) Instrument(s *obs.Sink, instance string) {
 	q.cSubmits = s.Counter("blockqueue", instance, "submits")
 	q.cDispatch = s.Counter("blockqueue", instance, "dispatches")
 	q.cMerges = s.Counter("blockqueue", instance, "merges")
+	q.cFreezes = s.Counter("blockqueue", instance, "freezes")
 	q.gDepthMax = s.Gauge("blockqueue", instance, "max_backlog")
 	q.hLatencyNS = s.Histogram("blockqueue", instance, "latency_ns", obs.TimeBuckets())
 }
@@ -144,6 +150,23 @@ func (q *Queue) account() {
 
 // Depth returns the number of requests waiting for dispatch.
 func (q *Queue) Depth() int { return len(q.pending) }
+
+// FreezeUntil suspends dispatch until t (a fault-injected brown-out or
+// controller-cache stall): requests already on the device complete, queued
+// and newly submitted requests wait, and dispatch resumes at t. Extending an
+// active freeze is allowed; shortening one is ignored.
+func (q *Queue) FreezeUntil(t sim.Time) {
+	if t <= q.frozen || t <= q.eng.Now() {
+		return
+	}
+	q.frozen = t
+	q.cFreezes.Inc()
+	q.eng.At(t, func() { q.maybeDispatch() })
+}
+
+// FrozenUntil reports the end of the current dispatch freeze (a time in the
+// past means dispatch is live).
+func (q *Queue) FrozenUntil() sim.Time { return q.frozen }
 
 // Idle reports whether nothing is queued or on the device.
 func (q *Queue) Idle() bool { return len(q.pending) == 0 && q.dispatched == nil }
@@ -277,6 +300,9 @@ func (q *Queue) pickNext() int {
 
 func (q *Queue) maybeDispatch() {
 	if q.dispatched != nil || len(q.pending) == 0 || q.dev.Busy() {
+		return
+	}
+	if q.eng.Now() < q.frozen {
 		return
 	}
 	i := q.pickNext()

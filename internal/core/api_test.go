@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"quanterference/internal/fault"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/obs"
@@ -15,35 +16,70 @@ import (
 	"quanterference/internal/workload/io500"
 )
 
+// TestRunEInvalidScenario walks every rejection branch of validate() plus
+// the injection-time fault target check, asserting both the sentinel and a
+// distinctive fragment of the message — each branch must stay diagnosable.
 func TestRunEInvalidScenario(t *testing.T) {
 	cases := []struct {
-		name string
-		s    Scenario
-		want error
+		name    string
+		s       Scenario
+		want    error
+		wantSub string
 	}{
-		{"empty", Scenario{}, ErrInvalidScenario},
+		{"empty", Scenario{}, ErrInvalidScenario, "target needs Gen"},
 		{"no-ranks", Scenario{Target: TargetSpec{
-			Gen: smallTarget().Gen, Nodes: []string{"c0"}}}, ErrInvalidScenario},
+			Gen: smallTarget().Gen, Nodes: []string{"c0"}}}, ErrInvalidScenario, "Ranks > 0"},
 		{"unknown-node", Scenario{Target: TargetSpec{
-			Gen: smallTarget().Gen, Nodes: []string{"nope"}, Ranks: 1}}, ErrInvalidScenario},
-		{"bad-window", func() Scenario {
+			Gen: smallTarget().Gen, Nodes: []string{"nope"}, Ranks: 1}},
+			ErrInvalidScenario, "not a topology client"},
+		{"window-not-second-aligned", func() Scenario {
 			s := Scenario{Target: smallTarget()}
 			s.WindowSize = sim.Millisecond
 			return s
-		}(), ErrInvalidScenario},
-		{"negative-maxtime", Scenario{Target: smallTarget(), MaxTime: -1}, ErrInvalidScenario},
-		{"negative-skew", Scenario{Target: smallTarget(), OSTSkew: -2}, ErrInvalidScenario},
+		}(), ErrInvalidScenario, "whole multiple of one second"},
+		{"negative-window", func() Scenario {
+			s := Scenario{Target: smallTarget()}
+			s.WindowSize = -sim.Second
+			return s
+		}(), ErrInvalidScenario, "non-positive window size"},
+		{"negative-maxtime", Scenario{Target: smallTarget(), MaxTime: -1},
+			ErrInvalidScenario, "non-positive MaxTime"},
+		{"negative-skew", Scenario{Target: smallTarget(), OSTSkew: -2},
+			ErrInvalidScenario, "negative OSTSkew"},
 		{"bad-interference", Scenario{Target: smallTarget(),
-			Interference: []InterferenceSpec{{}}}, ErrInvalidScenario},
+			Interference: []InterferenceSpec{{}}}, ErrInvalidScenario, "interference 0 needs"},
+		{"interference-negative-start", Scenario{Target: smallTarget(),
+			Interference: []InterferenceSpec{{
+				Gen: smallTarget().Gen, Nodes: []string{"c1"}, Ranks: 1, StartAt: -sim.Second,
+			}}}, ErrInvalidScenario, "negative StartAt"},
+		{"interference-unknown-node", Scenario{Target: smallTarget(),
+			Interference: []InterferenceSpec{{
+				Gen: smallTarget().Gen, Nodes: []string{"ghost"}, Ranks: 1,
+			}}}, ErrInvalidScenario, "not a topology client"},
 		{"bad-topology", Scenario{
 			Topology: lustre.Topology{MDSNode: "m", Clients: []string{"c0"}},
-			Target:   smallTarget()}, ErrInvalidTopology},
+			Target:   smallTarget()}, ErrInvalidTopology, "needs MDSNode, OSS, and Clients"},
+		{"bad-oss", Scenario{
+			Topology: lustre.Topology{MDSNode: "m", OSS: []lustre.OSSSpec{{Node: "oss0"}},
+				Clients: []string{"c0"}},
+			Target: TargetSpec{Gen: smallTarget().Gen, Nodes: []string{"c0"}, Ranks: 1}},
+			ErrInvalidTopology, "OSTs > 0"},
+		{"bad-fault-spec", Scenario{Target: smallTarget(),
+			Faults: []fault.Spec{{Kind: fault.DiskSlow, Duration: sim.Second, Severity: 2}}},
+			ErrInvalidScenario, "fault 0"},
+		{"fault-unknown-target", Scenario{Target: smallTarget(),
+			Faults: []fault.Spec{{Kind: fault.DiskSlow, Target: "ost99",
+				Duration: sim.Second, Severity: 2}}},
+			ErrInvalidScenario, `disk-slow target "ost99"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			res, err := RunE(tc.s)
 			if res != nil || !errors.Is(err, tc.want) {
 				t.Fatalf("RunE = %v, %v; want nil, %v", res, err, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -40,6 +41,35 @@ func (c *CollectorConfig) applyDefaults() {
 	}
 }
 
+// SkippedVariant records one variant run CollectDatasetE dropped instead of
+// aborting the whole collection.
+type SkippedVariant struct {
+	// Index is the variant's position in the variants slice.
+	Index int
+	// Name is the variant's display name ("variantN" when unnamed).
+	Name string
+	// Err is what felled the run: an ErrVariantUnfinished wrap, a scenario
+	// error from RunE, or a *par.PanicError from a crashed worker.
+	Err error
+}
+
+// CollectReport is CollectDatasetE's per-variant accounting, filled through
+// the WithCollectReport option. Under fault injection some variant runs may
+// legitimately not finish; the report says which ones were dropped and why,
+// so dataset consumers can tell "all healthy" from "degraded but usable".
+type CollectReport struct {
+	// Variants is how many variants were requested.
+	Variants int
+	// Completed is how many variant runs finished and contributed samples.
+	Completed int
+	// BaselineSamples and VariantSamples count the dataset's samples by
+	// origin.
+	BaselineSamples int
+	VariantSamples  int
+	// Skipped lists the dropped variants in index order.
+	Skipped []SkippedVariant
+}
+
 // CollectDataset runs the scenario's target once without interference (the
 // baseline), then once per variant, labels every window by the average
 // per-op iotime ratio against the baseline, and assembles the dataset.
@@ -61,6 +91,12 @@ func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dat
 // the config's zero-ambiguous fields (WithBins, WithMinOpsPerWindow,
 // WithBaselineSamples) and WithSink aggregates observability across the
 // baseline and every variant run.
+//
+// Variant runs degrade gracefully: a variant that fails — its scenario is
+// invalid, its worker panics, or (typical under Scenario.Faults) the target
+// does not finish within MaxTime — is skipped and recorded in the
+// WithCollectReport report instead of aborting the collection. Only when
+// every variant fails does CollectDatasetE return ErrAllVariantsFailed.
 func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*dataset.Dataset, error) {
 	o := applyOptions(opts)
 	o.applyCollector(&cfg)
@@ -107,39 +143,67 @@ func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opt
 		return out
 	}
 
+	report := CollectReport{Variants: len(variants)}
 	if cfg.IncludeBaseline {
 		for _, s := range samplesFor("baseline", baseRes, labeler.Degradations(baseRes.Records)) {
 			ds.Add(s)
+			report.BaselineSamples++
 		}
+	}
+	variantName := func(i int) string {
+		if variants[i].Name != "" {
+			return variants[i].Name
+		}
+		return fmt.Sprintf("variant%d", i)
 	}
 	// Variant runs are independent simulations: fan out across cores and
-	// splice the results back in variant order.
+	// splice the results back in variant order. MapE contains worker errors
+	// and panics, so one bad variant cannot take down the rest of the sweep.
 	perVariant := make([][]*dataset.Sample, len(variants))
 	errs := make([]error, len(variants))
-	par.Map(len(variants), func(i int) {
-		v := variants[i]
+	joined := par.MapE(len(variants), func(i int) error {
 		run := base
-		run.Interference = v.Interference
+		run.Interference = variants[i].Interference
 		res, err := RunE(run, opts...)
 		if err != nil {
-			errs[i] = fmt.Errorf("variant %d (%s): %w", i, v.Name, err)
-			return
+			errs[i] = err
+			return err
 		}
-		name := v.Name
-		if name == "" {
-			name = fmt.Sprintf("variant%d", i)
+		if !res.Finished {
+			errs[i] = fmt.Errorf("%w (MaxTime %v, target %s)",
+				ErrVariantUnfinished, run.MaxTime, run.Target.Gen.Name())
+			return errs[i]
 		}
-		perVariant[i] = samplesFor(name, res, labeler.Degradations(res.Records))
+		perVariant[i] = samplesFor(variantName(i), res, labeler.Degradations(res.Records))
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Panicking workers never stored into errs; map them back by index.
+	for _, e := range par.Errors(joined) {
+		var pe *par.PanicError
+		if errors.As(e, &pe) && errs[pe.Index] == nil {
+			errs[pe.Index] = pe
 		}
 	}
-	for _, samples := range perVariant {
+	for i, samples := range perVariant {
+		if errs[i] != nil {
+			report.Skipped = append(report.Skipped, SkippedVariant{
+				Index: i, Name: variantName(i), Err: errs[i],
+			})
+			continue
+		}
+		report.Completed++
 		for _, s := range samples {
 			ds.Add(s)
+			report.VariantSamples++
 		}
+	}
+	if o.report != nil {
+		*o.report = report
+	}
+	if len(variants) > 0 && report.Completed == 0 {
+		return nil, fmt.Errorf("%w: %d/%d skipped; first: variant %d (%s): %v",
+			ErrAllVariantsFailed, len(report.Skipped), len(variants),
+			report.Skipped[0].Index, report.Skipped[0].Name, report.Skipped[0].Err)
 	}
 	return ds, nil
 }

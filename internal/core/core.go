@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"quanterference/internal/fault"
 	"quanterference/internal/lustre"
 	"quanterference/internal/monitor/clientmon"
 	"quanterference/internal/monitor/servermon"
@@ -84,6 +85,11 @@ type Scenario struct {
 	// OSTs — the run-to-run layout variance §III-C motivates the kernel
 	// model with.
 	OSTSkew int
+	// Faults are deterministic degraded-mode episodes injected into the
+	// cluster (fail-slow disks, OST stalls, cache squeezes, MDS storms,
+	// NIC collapses). Pair with FSConfig.RPCTimeout to exercise the
+	// clients' retry/backoff path.
+	Faults []fault.Spec
 }
 
 func (s *Scenario) applyDefaults() {
@@ -105,9 +111,14 @@ func (s *Scenario) validate() error {
 	if s.Target.Gen == nil || s.Target.Ranks <= 0 || len(s.Target.Nodes) == 0 {
 		return fmt.Errorf("%w: target needs Gen, Ranks > 0, and Nodes", ErrInvalidScenario)
 	}
-	if s.WindowSize <= 0 || s.WindowSize%sim.Second != 0 {
-		return fmt.Errorf("%w: window size %d ns must be a positive whole number of seconds",
-			ErrInvalidScenario, s.WindowSize)
+	if s.WindowSize <= 0 {
+		return fmt.Errorf("%w: non-positive window size %d ns", ErrInvalidScenario, s.WindowSize)
+	}
+	if s.WindowSize%sim.Second != 0 {
+		return fmt.Errorf("%w: window size %d ns (%.3f s) must be a whole multiple of one second "+
+			"(%d ns) — the server-side monitor samples once per second, so windows that are not "+
+			"second-aligned cannot be assembled", ErrInvalidScenario,
+			s.WindowSize, sim.ToSeconds(s.WindowSize), sim.Second)
 	}
 	if s.MaxTime <= 0 {
 		return fmt.Errorf("%w: non-positive MaxTime %d", ErrInvalidScenario, s.MaxTime)
@@ -149,7 +160,43 @@ func (s *Scenario) validate() error {
 			}
 		}
 	}
+	for i, f := range s.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("%w: fault %d: %v", ErrInvalidScenario, i, err)
+		}
+	}
 	return nil
+}
+
+// faultEndpoints maps the assembled cluster's degradable components for the
+// fault injector: every storage target's disk, every OST's block layer and
+// write-back cache, the MDS, and the network fabric.
+func faultEndpoints(cl *Cluster) fault.Endpoints {
+	eps := fault.Endpoints{
+		Disks:    make(map[string]fault.DiskSlower),
+		Stalls:   make(map[string]fault.Staller),
+		Caches:   make(map[string]fault.CachePressurer),
+		CPUs:     map[string]fault.CPUScaler{"mdt": cl.FS.MDS()},
+		Net:      cl.Net,
+		NetNodes: make(map[string]bool),
+	}
+	for i := 0; i < cl.FS.NumOSTs(); i++ {
+		name := cl.FS.TargetName(i)
+		ost := cl.FS.OST(i)
+		eps.Disks[name] = ost.Queue().Device()
+		eps.Stalls[name] = ost
+		eps.Caches[name] = ost
+	}
+	eps.Disks["mdt"] = cl.FS.MDS().Queue().Device()
+	topo := cl.FS.Topology()
+	eps.NetNodes[topo.MDSNode] = true
+	for _, oss := range topo.OSS {
+		eps.NetNodes[oss.Node] = true
+	}
+	for _, cn := range topo.Clients {
+		eps.NetNodes[cn] = true
+	}
+	return eps
 }
 
 // RunResult is everything one scenario run produced.
@@ -200,6 +247,13 @@ func RunE(s Scenario, opts ...Option) (*RunResult, error) {
 		sink = obs.New()
 	}
 	cl := NewCluster(s.Topology, s.FSConfig).Instrument(sink)
+	if len(s.Faults) > 0 {
+		inj := fault.NewInjector(cl.Eng, faultEndpoints(cl))
+		inj.Instrument(sink)
+		if err := inj.Inject(s.Faults); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+		}
+	}
 	for i := 0; i < s.OSTSkew; i++ {
 		cl.FS.Populate(fmt.Sprintf("/.skew%d", i), 1, 1)
 	}

@@ -20,6 +20,17 @@ var (
 	// the target workload.
 	ErrBaselineUnfinished = errors.New("core: baseline run did not finish within MaxTime")
 
+	// ErrVariantUnfinished marks a variant run that hit MaxTime before the
+	// target completed — typical when fault injection degrades the cluster
+	// past what the time budget absorbs. CollectDatasetE skips such variants
+	// (recording them in the CollectReport) rather than aborting.
+	ErrVariantUnfinished = errors.New("core: variant run did not finish within MaxTime")
+
+	// ErrAllVariantsFailed reports that every variant run of CollectDatasetE
+	// failed or went unfinished, so the dataset would hold no
+	// interference samples at all.
+	ErrAllVariantsFailed = errors.New("core: all variant runs failed")
+
 	// ErrEmptyDataset reports a training request on a nil or empty dataset.
 	ErrEmptyDataset = errors.New("core: dataset has no samples")
 

@@ -17,6 +17,7 @@ type options struct {
 	bins     *label.Bins
 	minOps   *int
 	baseline *bool
+	report   *CollectReport
 }
 
 func applyOptions(opts []Option) options {
@@ -59,6 +60,14 @@ func WithMinOpsPerWindow(n int) Option {
 // looks like. Applies to CollectDatasetE.
 func WithBaselineSamples(include bool) Option {
 	return func(o *options) { b := include; o.baseline = &b }
+}
+
+// WithCollectReport fills r with per-variant completion accounting after
+// CollectDatasetE returns: how many variants completed, how many samples each
+// contributed, and which variants were skipped (with the error that felled
+// them). Applies to CollectDatasetE.
+func WithCollectReport(r *CollectReport) Option {
+	return func(o *options) { o.report = r }
 }
 
 // applyCollector overlays explicitly set options onto a CollectorConfig.

@@ -151,6 +151,20 @@ func (d *Disk) SetSlowdown(factor float64) {
 	d.slow = factor
 }
 
+// ScaleSlowdown multiplies the current fail-slow factor by factor, clamping
+// at 1 (healthy). Fault episodes stack multiplicatively: applying severity s
+// and later scaling by 1/s restores the pre-episode factor even when
+// episodes overlap.
+func (d *Disk) ScaleSlowdown(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("disk: non-positive slowdown scale %g", factor))
+	}
+	d.slow *= factor
+	if d.slow < 1 {
+		d.slow = 1
+	}
+}
+
 // Slowdown returns the current fail-slow factor (1 = healthy).
 func (d *Disk) Slowdown() float64 { return d.slow }
 

@@ -5,6 +5,7 @@ import (
 
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
+	"quanterference/internal/fault"
 	"quanterference/internal/label"
 	"quanterference/internal/sim"
 	"quanterference/internal/workload/apps"
@@ -28,6 +29,16 @@ type DatasetConfig struct {
 	// model is designed for.
 	Reps int
 	Seed int64
+	// Faults injects the same degraded-mode episodes into every collection
+	// run (baseline and variants alike), producing training data from a
+	// cluster that is sick in a known, reproducible way. RPCTimeout arms the
+	// clients' retry path alongside (0 keeps the healthy-cluster model).
+	Faults     []fault.Spec
+	RPCTimeout sim.Time
+	// Report, when non-nil, accumulates per-variant completion accounting
+	// across every collection of the dataset build: totals are summed and
+	// skipped variants appended (their indices are per-collection).
+	Report *core.CollectReport
 }
 
 func (c *DatasetConfig) applyDefaults() {
@@ -94,11 +105,24 @@ func collectFor(cfg DatasetConfig, name string, target core.TargetSpec, variants
 			WindowSize: cfg.Window,
 			MaxTime:    cfg.MaxTime,
 			OSTSkew:    rep,
+			Faults:     cfg.Faults,
 		}
-		ds := core.CollectDataset(base, variants, core.CollectorConfig{
+		base.FSConfig.RPCTimeout = cfg.RPCTimeout
+		var report core.CollectReport
+		ds, err := core.CollectDatasetE(base, variants, core.CollectorConfig{
 			Bins:            cfg.Bins,
 			IncludeBaseline: rep == 0,
-		})
+		}, core.WithCollectReport(&report))
+		if err != nil {
+			panic(err)
+		}
+		if cfg.Report != nil {
+			cfg.Report.Variants += report.Variants
+			cfg.Report.Completed += report.Completed
+			cfg.Report.BaselineSamples += report.BaselineSamples
+			cfg.Report.VariantSamples += report.VariantSamples
+			cfg.Report.Skipped = append(cfg.Report.Skipped, report.Skipped...)
+		}
 		for _, s := range ds.Samples {
 			s.Workload = name
 			s.Run = fmt.Sprintf("%s#%d", s.Run, rep)

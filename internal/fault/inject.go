@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"quanterference/internal/obs"
+	"quanterference/internal/sim"
+)
+
+// The per-kind degradation hooks each simulator layer implements. The
+// injector depends only on these, so fault stays below lustre/netsim in the
+// import graph and new layers opt in by implementing the matching method.
+
+// DiskSlower is a device whose service time can be scaled multiplicatively
+// (internal/disk). Overlapping episodes stack; reverting scales by the
+// reciprocal.
+type DiskSlower interface {
+	ScaleSlowdown(factor float64)
+}
+
+// Staller is a component whose request dispatch can be frozen until a
+// simulated time (an OST's block queue).
+type Staller interface {
+	StallUntil(t sim.Time)
+}
+
+// CachePressurer is a component whose write-back cache limit can be squeezed
+// by a divisor (an OST). Factor 1 restores the configured limit.
+type CachePressurer interface {
+	SetCachePressure(factor float64)
+}
+
+// CPUScaler is a component whose per-op CPU cost can be multiplied (the
+// MDS). Factor 1 restores nominal cost.
+type CPUScaler interface {
+	SetOpCPUFactor(factor float64)
+}
+
+// BandwidthScaler is a fabric whose per-node NIC capacity can be scaled
+// (internal/netsim). Scale 1 restores full bandwidth.
+type BandwidthScaler interface {
+	SetBandwidthScale(node string, scale float64)
+}
+
+// Endpoints names every degradable component instance of one cluster. The
+// core layer fills it from the assembled file system and network.
+type Endpoints struct {
+	// Disks maps storage-target names ("ost0".."ostN", "mdt") to devices.
+	Disks map[string]DiskSlower
+	// Stalls maps OST names to their stallable block layers.
+	Stalls map[string]Staller
+	// Caches maps OST names to their write-back caches.
+	Caches map[string]CachePressurer
+	// CPUs maps "mdt" to the metadata server.
+	CPUs map[string]CPUScaler
+	// Net scales node NIC bandwidth; NetNodes lists valid node names.
+	Net      BandwidthScaler
+	NetNodes map[string]bool
+}
+
+// Injector schedules fault episodes on one engine. Create one per cluster.
+type Injector struct {
+	eng *sim.Engine
+	eps Endpoints
+
+	active int
+
+	// Observability handles; nil unless Instrument attached a sink.
+	sink      *obs.Sink
+	cInjected *obs.Counter
+	gActive   *obs.Gauge
+}
+
+// NewInjector binds an injector to a cluster's engine and endpoints.
+func NewInjector(eng *sim.Engine, eps Endpoints) *Injector {
+	return &Injector{eng: eng, eps: eps}
+}
+
+// Instrument registers fault metrics on the sink: episodes injected
+// (fault/injected) and the peak number of concurrently active episodes.
+// Each episode also becomes a trace span on the "fault" track, so degraded
+// windows are visible next to the traffic they perturb.
+func (in *Injector) Instrument(s *obs.Sink) {
+	in.sink = s
+	in.cInjected = s.Counter("fault", "", "injected")
+	in.gActive = s.Gauge("fault", "", "max_active")
+}
+
+// Inject validates every spec against the endpoints and schedules all apply
+// and revert events. It must be called before the run starts (episodes with
+// Start in the past are a scheduling error). Returns the first resolution
+// error without scheduling anything.
+func (in *Injector) Inject(specs []Spec) error {
+	type episode struct {
+		spec   Spec
+		apply  func()
+		revert func() // nil when the apply is self-reverting (OSTStall)
+	}
+	episodes := make([]episode, 0, len(specs))
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+		ep := episode{spec: spec}
+		switch spec.Kind {
+		case DiskSlow:
+			d, ok := in.eps.Disks[spec.Target]
+			if !ok || d == nil {
+				return fmt.Errorf("fault %d: disk-slow target %q: %s", i, spec.Target, known(in.eps.Disks))
+			}
+			sev := spec.Severity
+			ep.apply = func() { d.ScaleSlowdown(sev) }
+			ep.revert = func() { d.ScaleSlowdown(1 / sev) }
+		case OSTStall:
+			st, ok := in.eps.Stalls[spec.Target]
+			if !ok || st == nil {
+				return fmt.Errorf("fault %d: ost-stall target %q: %s", i, spec.Target, known(in.eps.Stalls))
+			}
+			until := spec.Start + spec.Duration
+			ep.apply = func() { st.StallUntil(until) }
+		case OSTCachePressure:
+			cp, ok := in.eps.Caches[spec.Target]
+			if !ok || cp == nil {
+				return fmt.Errorf("fault %d: ost-cache target %q: %s", i, spec.Target, known(in.eps.Caches))
+			}
+			sev := spec.Severity
+			ep.apply = func() { cp.SetCachePressure(sev) }
+			ep.revert = func() { cp.SetCachePressure(1) }
+		case MDSStorm:
+			target := spec.Target
+			if target == "" {
+				target = "mdt"
+			}
+			cs, ok := in.eps.CPUs[target]
+			if !ok || cs == nil {
+				return fmt.Errorf("fault %d: mds-storm target %q: %s", i, target, known(in.eps.CPUs))
+			}
+			sev := spec.Severity
+			ep.apply = func() { cs.SetOpCPUFactor(sev) }
+			ep.revert = func() { cs.SetOpCPUFactor(1) }
+		case NetCollapse:
+			if in.eps.Net == nil || !in.eps.NetNodes[spec.Target] {
+				return fmt.Errorf("fault %d: net-collapse target %q: %s", i, spec.Target, known(in.eps.NetNodes))
+			}
+			node, sev := spec.Target, spec.Severity
+			ep.apply = func() { in.eps.Net.SetBandwidthScale(node, 1/sev) }
+			ep.revert = func() { in.eps.Net.SetBandwidthScale(node, 1) }
+		}
+		episodes = append(episodes, ep)
+	}
+	for _, ep := range episodes {
+		ep := ep
+		in.eng.At(ep.spec.Start, func() {
+			in.active++
+			in.gActive.Max(float64(in.active))
+			in.cInjected.Inc()
+			in.sink.Span("fault", ep.spec.Target, ep.spec.Kind.String(),
+				ep.spec.Start, ep.spec.Duration)
+			ep.apply()
+		})
+		end := ep.spec.Start + ep.spec.Duration
+		revert := ep.revert
+		in.eng.At(end, func() {
+			in.active--
+			if revert != nil {
+				revert()
+			}
+		})
+	}
+	return nil
+}
+
+// known renders the valid target set for error messages.
+func known[V any](m map[string]V) string {
+	if len(m) == 0 {
+		return "no targets of this kind exist"
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "want one of " + joinMax(names, 10)
+}
+
+func joinMax(names []string, max int) string {
+	if len(names) <= max {
+		return fmt.Sprintf("%v", names)
+	}
+	return fmt.Sprintf("%v…", names[:max])
+}

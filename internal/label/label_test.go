@@ -1,6 +1,7 @@
 package label
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -69,6 +70,33 @@ func TestUnmatchedOpsIgnored(t *testing.T) {
 	}
 	if d := l.Degradations(interf)[0]; d != 2 {
 		t.Fatalf("unmatched op contaminated label: %f", d)
+	}
+}
+
+// Regression: a baseline op that completed instantaneously (Start == End,
+// possible for zero-byte ops or pure cache hits at coarse clock resolution)
+// must not poison the window's mean with a division by zero — the op is
+// skipped, not turned into +Inf/NaN.
+func TestZeroDurationBaselineOpSkipped(t *testing.T) {
+	base := []workload.Record{
+		mkRec(0, 0, 0, 0, 0), // zero-duration baseline op
+		mkRec(0, 0, 1, 0, 10*sim.Millisecond),
+	}
+	l := New(base, sim.Second, 1)
+	interf := []workload.Record{
+		mkRec(0, 0, 0, 0, 50*sim.Millisecond), // matches the zero-dur op
+		mkRec(0, 0, 1, 0, 20*sim.Millisecond), // clean 2x
+	}
+	degs := l.Degradations(interf)
+	d, ok := degs[0]
+	if !ok {
+		t.Fatal("window 0 dropped entirely; the healthy op should still label it")
+	}
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("zero-duration baseline op produced %f", d)
+	}
+	if d != 2 {
+		t.Fatalf("degradation=%f, want 2 (zero-dur op excluded from the mean)", d)
 	}
 }
 

@@ -18,6 +18,14 @@ type Client struct {
 	slots []*sim.Resource // one per target (OSTs then MDT)
 	// bucket throttles bulk data when a QoS rule is set (see SetRateLimit).
 	bucket *tokenBucket
+	// rng draws the retry-backoff jitter; derived from the scenario seed
+	// and the node name, so runs are exactly reproducible.
+	rng *sim.RNG
+
+	// Degraded-mode counters (see Retries/Timeouts/DegradedOps).
+	retries     uint64
+	timeouts    uint64
+	degradedOps uint64
 
 	// Readahead-efficiency counters (the Darshan-style client view);
 	// nil unless instrument attached a sink.
@@ -25,6 +33,9 @@ type Client struct {
 	cRAWait     *obs.Counter
 	cRAMiss     *obs.Counter
 	cRAPrefetch *obs.Counter
+	cRetries    *obs.Counter
+	cTimeouts   *obs.Counter
+	cDegraded   *obs.Counter
 }
 
 // Handle is an open file with its layout cached client-side, plus the
@@ -46,13 +57,27 @@ type raChunk struct {
 }
 
 func newClient(fs *FS, node string) *Client {
-	c := &Client{Node: node, fs: fs}
+	var nodeMix int64
+	for _, b := range node {
+		nodeMix = nodeMix*131 + int64(b)
+	}
+	c := &Client{Node: node, fs: fs, rng: sim.NewRNG(fs.cfg.Seed ^ 0xc11e27 ^ nodeMix)}
 	c.slots = make([]*sim.Resource, fs.NumTargets())
 	for i := range c.slots {
 		c.slots[i] = sim.NewResource(fs.Eng, fs.cfg.MaxRPCsInFlight)
 	}
 	return c
 }
+
+// Retries reports how many bulk RPCs this client resent after a timeout.
+func (c *Client) Retries() uint64 { return c.retries }
+
+// Timeouts reports how many bulk-RPC timeouts this client observed.
+func (c *Client) Timeouts() uint64 { return c.timeouts }
+
+// DegradedOps reports how many bulk RPCs needed at least one resend to
+// complete — the client's degraded-mode counter.
+func (c *Client) DegradedOps() uint64 { return c.degradedOps }
 
 // instrument registers readahead-efficiency counters under the client's
 // node name: reads fully served from prefetched data (hit), reads that had
@@ -63,6 +88,9 @@ func (c *Client) instrument(s *obs.Sink) {
 	c.cRAWait = s.Counter("client", c.Node, "ra_waits")
 	c.cRAMiss = s.Counter("client", c.Node, "ra_misses")
 	c.cRAPrefetch = s.Counter("client", c.Node, "ra_prefetches")
+	c.cRetries = s.Counter("client", c.Node, "retries")
+	c.cTimeouts = s.Counter("client", c.Node, "timeouts")
+	c.cDegraded = s.Counter("client", c.Node, "degraded_ops")
 }
 
 // metaRPC performs a metadata round trip to the MDS.
@@ -210,7 +238,58 @@ func (c *Client) rpc(ino *Inode, ostID int, objOff, length int64, write bool, do
 	c.rpcUnthrottled(ino, ostID, objOff, length, write, done)
 }
 
+// rpcUnthrottled resolves one bulk RPC, with timeout/retry when the file
+// system arms RPCTimeout. Each attempt is a full send (sendRPC); an attempt
+// outstanding past the timeout is abandoned — its eventual completion is
+// ignored, like a reply to a resent XID — and the RPC is resent after a
+// bounded exponential backoff with deterministic seed-derived jitter. The
+// final attempt carries no timeout, so the op always completes: degraded
+// mode slows clients down, it never wedges them.
 func (c *Client) rpcUnthrottled(ino *Inode, ostID int, objOff, length int64, write bool, done func()) {
+	if c.fs.cfg.RPCTimeout <= 0 {
+		c.sendRPC(ino, ostID, objOff, length, write, done)
+		return
+	}
+	c.sendAttempt(ino, ostID, objOff, length, write, done, 0)
+}
+
+func (c *Client) sendAttempt(ino *Inode, ostID int, objOff, length int64, write bool, done func(), attempt int) {
+	fs := c.fs
+	settled := false
+	c.sendRPC(ino, ostID, objOff, length, write, func() {
+		if settled {
+			return // abandoned attempt: a later resend owns this op now
+		}
+		settled = true
+		if attempt > 0 {
+			c.degradedOps++
+			c.cDegraded.Inc()
+		}
+		done()
+	})
+	if attempt >= fs.cfg.RPCRetryLimit {
+		return // last attempt rides to completion
+	}
+	fs.Eng.Schedule(fs.cfg.RPCTimeout, func() {
+		if settled {
+			return
+		}
+		settled = true
+		c.timeouts++
+		c.cTimeouts.Inc()
+		backoff := fs.cfg.RPCBackoffBase << uint(attempt)
+		backoff += c.rng.Int63n(backoff) // deterministic jitter in [0, backoff)
+		fs.Eng.Schedule(backoff, func() {
+			c.retries++
+			c.cRetries.Inc()
+			c.sendAttempt(ino, ostID, objOff, length, write, done, attempt+1)
+		})
+	})
+}
+
+// sendRPC performs one attempt of a bulk RPC: slot, network, OSS thread,
+// OST data path, reply.
+func (c *Client) sendRPC(ino *Inode, ostID int, objOff, length int64, write bool, done func()) {
 	fs := c.fs
 	ost := fs.osts[ostID]
 	slot := c.slots[ostID]

@@ -72,6 +72,21 @@ type Config struct {
 	CacheHitTime sim.Time
 	// ReqMsgBytes is the size of RPC request/response headers (default 1 KiB).
 	ReqMsgBytes int64
+	// RPCTimeout arms per-bulk-RPC timeouts on the clients (cf. Lustre's
+	// obd_timeout): an RPC outstanding longer than this is abandoned and
+	// resent after a backoff. 0 (the default) disables timeouts — the
+	// healthy-cluster model — so it is typically set alongside fault
+	// injection. Metadata RPCs are never resent (a replayed unlink or
+	// create is not idempotent in this model).
+	RPCTimeout sim.Time
+	// RPCRetryLimit bounds resends per bulk RPC (default 4 when RPCTimeout
+	// is set). The final attempt rides to completion without a timeout, so
+	// operations always finish eventually.
+	RPCRetryLimit int
+	// RPCBackoffBase is the first retry delay (default 50 ms); attempt k
+	// waits base*2^k plus a deterministic jitter in [0, base*2^k) drawn
+	// from the client's seed-derived RNG.
+	RPCBackoffBase sim.Time
 	// Seed feeds all derived RNGs.
 	Seed int64
 }
@@ -127,6 +142,18 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ReqMsgBytes == 0 {
 		c.ReqMsgBytes = 1024
+	}
+	if c.RPCTimeout < 0 {
+		c.RPCTimeout = 0
+	}
+	if c.RPCRetryLimit == 0 {
+		c.RPCRetryLimit = 4
+	}
+	if c.RPCRetryLimit < 0 {
+		c.RPCRetryLimit = 0
+	}
+	if c.RPCBackoffBase <= 0 {
+		c.RPCBackoffBase = 50 * sim.Millisecond
 	}
 }
 

@@ -70,6 +70,9 @@ type MDS struct {
 
 	nOSTs int
 	stats MDSStats
+	// cpuFactor multiplies the per-op CPU cost (1 = nominal), a
+	// fault-injected metadata latency storm.
+	cpuFactor float64
 	// destroyObjects releases a removed file's OST objects (set by FS).
 	destroyObjects func(*Inode)
 
@@ -101,6 +104,7 @@ func newMDS(eng *sim.Engine, cfg *Config, node string, nOSTs int, seed int64) *M
 		tableBase:  journalLen,
 		tableLen:   (int64(1) << 31) - journalLen,
 		nOSTs:      nOSTs,
+		cpuFactor:  1,
 	}
 }
 
@@ -125,6 +129,17 @@ func (m *MDS) Queue() *blockqueue.Queue { return m.q }
 
 // Stats returns cumulative counters.
 func (m *MDS) Stats() MDSStats { return m.stats }
+
+// SetOpCPUFactor multiplies the per-op CPU cost by factor (>= 1; factor 1
+// restores nominal) — a metadata latency storm: every op holds its service
+// thread longer, so the thread pool saturates at a fraction of the healthy
+// op rate.
+func (m *MDS) SetOpCPUFactor(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	m.cpuFactor = factor
+}
 
 // Lookup returns the inode for path, or nil. It does not simulate any time;
 // use Client metadata ops for timed access.
@@ -215,7 +230,11 @@ func (m *MDS) handle(op MetaOp, path string, stripeCount int, reply func(*Inode)
 			m.Threads.Release()
 			reply(ino)
 		}
-		m.eng.Schedule(m.cfg.MDSOpCPU, func() {
+		opCPU := m.cfg.MDSOpCPU
+		if m.cpuFactor > 1 {
+			opCPU = sim.Time(float64(opCPU) * m.cpuFactor)
+		}
+		m.eng.Schedule(opCPU, func() {
 			switch op {
 			case MetaCreate, MetaMkdir:
 				ino, ok := m.namespace[path]

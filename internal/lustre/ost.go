@@ -66,6 +66,9 @@ type OST struct {
 	dirtyExtents  []dirtyExtent
 	flushInFlight int
 	waiters       []writeWaiter
+	// cachePressure divides the effective write-back limit (1 = nominal),
+	// a fault-injected memory squeeze on the server.
+	cachePressure float64
 
 	// Cumulative stats for monitors and tests.
 	writesAdmitted  uint64
@@ -118,6 +121,41 @@ func (o *OST) instrument(s *obs.Sink, name string) {
 
 // Queue exposes the request queue for the server-side monitor.
 func (o *OST) Queue() *blockqueue.Queue { return o.q }
+
+// StallUntil freezes the OST's block-layer dispatch until t — a brown-out
+// window: RPCs keep arriving and writes keep landing in the cache, but no
+// request reaches the media until the stall lifts.
+func (o *OST) StallUntil(t sim.Time) { o.q.FreezeUntil(t) }
+
+// SetCachePressure divides the effective write-back limit by factor
+// (factor 1 restores the configured limit). Lowering the limit makes
+// subsequent writes throttle earlier; raising it back wakes any writes the
+// squeeze stranded.
+func (o *OST) SetCachePressure(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	prev := o.cachePressure
+	if prev == 0 {
+		prev = 1
+	}
+	o.cachePressure = factor
+	if factor < prev {
+		o.wakeWaiters()
+	}
+}
+
+// writebackLimit is the effective dirty-data cap under current pressure.
+func (o *OST) writebackLimit() int64 {
+	if o.cachePressure <= 1 {
+		return o.cfg.WritebackLimit
+	}
+	lim := int64(float64(o.cfg.WritebackLimit) / o.cachePressure)
+	if lim < 1 {
+		lim = 1
+	}
+	return lim
+}
 
 // DirtyBytes reports the current write-back cache occupancy.
 func (o *OST) DirtyBytes() int64 { return o.dirtyBytes }
@@ -208,7 +246,7 @@ func (o *OST) write(objID uint64, off, length int64, done func()) {
 	startSec, nSec := sectorRange(off, length)
 	runs := o.mapRange(objID, startSec, nSec)
 	if len(o.waiters) > 0 ||
-		(o.dirtyBytes > 0 && o.dirtyBytes+length > o.cfg.WritebackLimit) {
+		(o.dirtyBytes > 0 && o.dirtyBytes+length > o.writebackLimit()) {
 		o.writesThrottled++
 		o.cThrottled.Inc()
 		o.waiters = append(o.waiters, writeWaiter{
@@ -258,7 +296,7 @@ func (o *OST) scheduleFlush() {
 func (o *OST) wakeWaiters() {
 	for len(o.waiters) > 0 {
 		w := o.waiters[0]
-		if o.dirtyBytes > 0 && o.dirtyBytes+w.bytes > o.cfg.WritebackLimit {
+		if o.dirtyBytes > 0 && o.dirtyBytes+w.bytes > o.writebackLimit() {
 			return
 		}
 		o.waiters = o.waiters[1:]

@@ -19,10 +19,17 @@ import (
 	"quanterference/internal/workload"
 )
 
+// EngageAlways makes the controller throttle on every prediction, including
+// class 0 ("no degradation"). The zero value of Config.EngageClass means
+// "use the default" (class 1), so requesting class 0 needs this explicit
+// sentinel.
+const EngageAlways = -1
+
 // Config tunes the controller.
 type Config struct {
 	// EngageClass is the minimum predicted class that triggers throttling
-	// (default 1: any >=2x prediction).
+	// (default 1: any >=2x prediction). Set EngageAlways (-1) to engage on
+	// class 0 too — the zero value is reserved for "default".
 	EngageClass int
 	// ThrottleBps is the per-client rate limit applied while engaged
 	// (default 10 MB/s).
@@ -33,8 +40,13 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
-	if c.EngageClass == 0 {
+	switch {
+	case c.EngageClass == 0:
 		c.EngageClass = 1
+	case c.EngageClass <= EngageAlways:
+		// Previously any negative value survived defaulting but could never
+		// be distinguished from a typo; now it explicitly means class 0.
+		c.EngageClass = 0
 	}
 	if c.ThrottleBps == 0 {
 		c.ThrottleBps = 10e6

@@ -128,6 +128,44 @@ func TestControllerReEngages(t *testing.T) {
 	ctrl.Stop()
 }
 
+// Regression: EngageClass 0 used to be silently rewritten to 1 by
+// applyDefaults, making "engage on every prediction" impossible to request.
+// The EngageAlways sentinel now maps to a real threshold of 0.
+func TestEngageAlwaysSentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		in   int
+		want int
+	}{
+		{"zero-means-default", 0, 1},
+		{"explicit-class", 2, 2},
+		{"engage-always", EngageAlways, 0},
+		{"more-negative-still-always", -7, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{EngageClass: tc.in}
+			cfg.applyDefaults()
+			if cfg.EngageClass != tc.want {
+				t.Fatalf("EngageClass %d defaulted to %d, want %d", tc.in, cfg.EngageClass, tc.want)
+			}
+		})
+	}
+}
+
+func TestEngageAlwaysThrottlesOnCleanPredictions(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	victim := cl.FS.Client("c1")
+	ctrl := New(cl, stubFramework(), []*lustre.Client{victim}, sim.Second,
+		Config{EngageClass: EngageAlways})
+	// Class-0 prediction: an EngageAlways controller must still throttle.
+	ctrl.decide(cl.Eng.Now(), 0, 0)
+	if !ctrl.Engaged() || !victim.RateLimited() {
+		t.Fatal("EngageAlways controller ignored a class-0 prediction")
+	}
+	ctrl.Stop()
+}
+
 func TestControllerStopRemovesLimits(t *testing.T) {
 	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
 	victim := cl.FS.Client("c1")

@@ -41,8 +41,12 @@ func (c *Config) applyDefaults() {
 type link struct {
 	name  string
 	cap   float64
+	scale float64 // fault-injected capacity multiplier in (0, 1]
 	flows map[*flow]struct{}
 }
+
+// effCap is the usable capacity under the current degradation scale.
+func (l *link) effCap() float64 { return l.cap * l.scale }
 
 type node struct {
 	name string
@@ -125,9 +129,25 @@ func (n *Network) AddNode(name string, bps float64) {
 	}
 	n.nodes[name] = &node{
 		name: name,
-		up:   &link{name: name + "/up", cap: bps, flows: map[*flow]struct{}{}},
-		down: &link{name: name + "/down", cap: bps, flows: map[*flow]struct{}{}},
+		up:   &link{name: name + "/up", cap: bps, scale: 1, flows: map[*flow]struct{}{}},
+		down: &link{name: name + "/down", cap: bps, scale: 1, flows: map[*flow]struct{}{}},
 	}
+}
+
+// SetBandwidthScale degrades (or, with scale 1, heals) one node's NIC: both
+// directions' capacity is multiplied by scale in (0, 1]. Active flows are
+// drained at their old rates up to now, then re-shared max-min fairly at the
+// new capacity — a transient bandwidth collapse (link renegotiation, a
+// flapping switch port) as the fault layer injects it.
+func (n *Network) SetBandwidthScale(name string, scale float64) {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("netsim: bandwidth scale %g outside (0, 1]", scale))
+	}
+	nd := n.node(name)
+	n.advance()
+	nd.up.scale = scale
+	nd.down.scale = scale
+	n.reschedule()
 }
 
 // HasNode reports whether the node exists.
@@ -213,7 +233,7 @@ func (n *Network) recompute() {
 	touch := func(l *link) *linkState {
 		st, ok := states[l]
 		if !ok {
-			st = &linkState{remCap: l.cap}
+			st = &linkState{remCap: l.effCap()}
 			states[l] = st
 		}
 		return st

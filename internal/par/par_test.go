@@ -1,6 +1,9 @@
 package par
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -43,6 +46,89 @@ func TestMapSingle(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatal("workers < 1")
+	}
+}
+
+// Regression: a worker panic used to escape its goroutine and kill the whole
+// process mid-collection with no index attached. Map must now finish every
+// other index and re-panic on the caller's goroutine with context.
+func TestMapWorkerPanicIsRecoverable(t *testing.T) {
+	var count int64
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Map did not re-panic after a worker panic")
+		}
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", v, v)
+		}
+		if pe.Index != 7 {
+			t.Errorf("PanicError.Index = %d, want 7", pe.Index)
+		}
+		if !strings.Contains(pe.Error(), "worker 7 panicked: boom") {
+			t.Errorf("error %q missing index and panic value", pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("PanicError.Stack empty")
+		}
+		if got := atomic.LoadInt64(&count); got != 31 {
+			t.Errorf("%d/31 non-panicking workers ran; the feeder lost some", got)
+		}
+	}()
+	Map(32, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+		atomic.AddInt64(&count, 1)
+	})
+}
+
+func TestMapEErrorsAndPanicsDoNotAbortOthers(t *testing.T) {
+	var count int64
+	err := MapE(64, func(i int) error {
+		switch i {
+		case 3:
+			return fmt.Errorf("worker %d failed", i)
+		case 9:
+			panic("kaboom")
+		}
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if count != 62 {
+		t.Fatalf("%d/62 healthy workers ran", count)
+	}
+	if err == nil {
+		t.Fatal("MapE returned nil despite failures")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 9 {
+		t.Errorf("no *PanicError with index 9 in %v", err)
+	}
+	if !strings.Contains(err.Error(), "worker 3 failed") {
+		t.Errorf("error %q missing worker 3's failure", err)
+	}
+	if got := Errors(err); len(got) != 2 {
+		t.Errorf("Errors(err) = %d entries, want 2", len(got))
+	}
+}
+
+func TestMapESerialPathRecovers(t *testing.T) {
+	// n == 1 forces the serial path regardless of GOMAXPROCS.
+	err := MapE(1, func(int) error { panic("solo") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("serial MapE: err = %v, want *PanicError index 0", err)
+	}
+}
+
+func TestMapEAllHealthy(t *testing.T) {
+	if err := MapE(16, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if err := MapE(0, func(int) error { panic("never") }); err != nil {
+		t.Fatalf("n=0: err = %v", err)
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
+	"quanterference/internal/fault"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
@@ -95,13 +96,41 @@ type (
 	Stats = obs.Snapshot
 	// Option tunes RunE/CollectDatasetE/TrainFrameworkE.
 	Option = core.Option
+
+	// FaultSpec declares one degraded-mode episode (Scenario.Faults): a
+	// fail-slow disk, OST stall, cache squeeze, MDS storm, or NIC collapse,
+	// injected deterministically at a chosen simulated time.
+	FaultSpec = fault.Spec
+	// FaultKind enumerates the fault classes.
+	FaultKind = fault.Kind
+	// CollectReport is CollectDatasetE's per-variant completion accounting
+	// (WithCollectReport).
+	CollectReport = core.CollectReport
+	// SkippedVariant records one variant run dropped during collection.
+	SkippedVariant = core.SkippedVariant
 )
+
+// Fault classes for FaultSpec.Kind.
+const (
+	DiskSlow         = fault.DiskSlow
+	OSTStall         = fault.OSTStall
+	OSTCachePressure = fault.OSTCachePressure
+	MDSStorm         = fault.MDSStorm
+	NetCollapse      = fault.NetCollapse
+)
+
+// ParseFaultSpecs parses a comma-separated episode list in the CLI syntax,
+// each "kind:target:start:duration[:severity]" with times in seconds, e.g.
+// "disk-slow:ost0:10:5:4,mds-storm:mdt:0:20:8".
+func ParseFaultSpecs(s string) ([]FaultSpec, error) { return fault.ParseSpecs(s) }
 
 // Typed errors returned by the error-returning API; match with errors.Is.
 var (
 	ErrInvalidScenario    = core.ErrInvalidScenario
 	ErrInvalidTopology    = core.ErrInvalidTopology
 	ErrBaselineUnfinished = core.ErrBaselineUnfinished
+	ErrVariantUnfinished  = core.ErrVariantUnfinished
+	ErrAllVariantsFailed  = core.ErrAllVariantsFailed
 	ErrEmptyDataset       = core.ErrEmptyDataset
 	ErrBadFrameworkFile   = core.ErrBadFrameworkFile
 )
@@ -110,10 +139,11 @@ var (
 func NewSink() *Sink { return obs.New() }
 
 // Functional options for the error-returning entry points.
-func WithSink(s *Sink) Option            { return core.WithSink(s) }
-func WithBins(b Bins) Option             { return core.WithBins(b) }
-func WithMinOpsPerWindow(n int) Option   { return core.WithMinOpsPerWindow(n) }
-func WithBaselineSamples(on bool) Option { return core.WithBaselineSamples(on) }
+func WithSink(s *Sink) Option                   { return core.WithSink(s) }
+func WithBins(b Bins) Option                    { return core.WithBins(b) }
+func WithMinOpsPerWindow(n int) Option          { return core.WithMinOpsPerWindow(n) }
+func WithBaselineSamples(on bool) Option        { return core.WithBaselineSamples(on) }
+func WithCollectReport(r *CollectReport) Option { return core.WithCollectReport(r) }
 
 // NewCluster builds a fresh simulated cluster.
 func NewCluster(topo Topology, cfg Config) *Cluster { return core.NewCluster(topo, cfg) }
