@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check trace clean
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,26 @@ tier1: build test
 # Sink is mutated from par.Map worker goroutines. The focused -count=1 race
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs).
-verify:
-	$(GO) vet ./...
+verify: docs-check
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
+
+# bench-json runs the whole benchmark suite through cmd/bench and writes a
+# machine-readable BENCH_<date>.json for committing alongside perf changes.
+bench-json:
+	$(GO) run ./cmd/bench
+
+# docs-check gates formatting, static analysis, and documentation integrity:
+# every relative markdown link and internal/... path reference in the repo's
+# *.md files must point at something that exists.
+docs-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck .
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

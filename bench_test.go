@@ -6,6 +6,7 @@
 package quanterference_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -310,6 +311,40 @@ func BenchmarkKernelModelTrainStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ml.Train(m, ds, ml.TrainConfig{Epochs: 1, Seed: int64(i)})
+	}
+}
+
+// BenchmarkTrainEpoch measures one training epoch over 256 samples at each
+// worker count. The serial case is the legacy non-sharded loop (Workers: 0);
+// every Workers >= 1 case runs the sharded path and produces bit-identical
+// weights, so the sweep isolates the cost/benefit of data parallelism alone.
+func BenchmarkTrainEpoch(b *testing.B) {
+	ds := syntheticDataset(256)
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		name := "serial"
+		if w > 0 {
+			name = fmt.Sprintf("workers=%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			m := ml.NewKernelModel(ml.KernelConfig{NTargets: 7, NFeat: 34, Classes: 2, Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ml.Train(m, ds, ml.TrainConfig{Epochs: 1, Seed: int64(i), Workers: w})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStep measures one schedule+dispatch cycle through the event
+// loop — the simulator's smallest unit of work, and the path the event
+// free-list keeps allocation-free.
+func BenchmarkEngineStep(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(1, fn)
+		eng.Step()
 	}
 }
 

@@ -1,0 +1,164 @@
+// Command bench runs the repository's benchmark suite and writes the
+// results as machine-readable JSON, so performance numbers can be committed,
+// diffed across revisions, and plotted without scraping go test output.
+//
+// Usage:
+//
+//	bench [-bench regex] [-benchtime 1s] [-count 1] [-pkg ./...] [-out FILE]
+//
+// The default output file is BENCH_<yyyy-mm-dd>.json in the current
+// directory. The JSON records the environment (go version, OS/arch, CPU
+// count) and, per benchmark, the iteration count and every value/unit metric
+// pair go test reported — including -benchmem allocation stats and custom
+// b.ReportMetric values such as BenchmarkRun's simevents/op.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	benchRe   = flag.String("bench", ".", "benchmark name regex (go test -bench)")
+	benchTime = flag.String("benchtime", "1s", "per-benchmark time or iteration budget (go test -benchtime)")
+	count     = flag.Int("count", 1, "repetitions per benchmark (go test -count)")
+	pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+	outPath   = flag.String("out", "", "output file (default BENCH_<date>.json)")
+)
+
+// Metric is one value/unit pair from a benchmark result line.
+type Metric struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	OS         string   `json:"os"`
+	Arch       string   `json:"arch"`
+	CPUs       int      `json:"cpus"`
+	Bench      string   `json:"bench_regex"`
+	BenchTime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Package    string   `json:"package"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	flag.Parse()
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *benchRe,
+		"-benchmem",
+		"-benchtime", *benchTime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go test: %w", err))
+	}
+	results, err := parse(&out)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *benchRe))
+	}
+	now := time.Now().UTC()
+	rep := Report{
+		Date:       now.Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Bench:      *benchRe,
+		BenchTime:  *benchTime,
+		Count:      *count,
+		Package:    *pkg,
+		Benchmarks: results,
+	}
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + now.Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench: %d benchmarks -> %s\n", len(results), path)
+}
+
+// parse extracts benchmark result lines from go test output. A line looks
+// like:
+//
+//	BenchmarkRun-8   2292   562245 ns/op   232.0 simevents/op   1519 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parse(r *bytes.Buffer) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

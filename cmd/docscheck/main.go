@@ -1,0 +1,123 @@
+// Command docscheck validates the repository's markdown documentation:
+// every relative link target must exist on disk, and every internal/...
+// package or file path mentioned in a document must exist in the tree, so
+// docs cannot silently rot as code moves.
+//
+// Usage:
+//
+//	docscheck [root]
+//
+// root defaults to the current directory. Exits non-zero listing every
+// broken reference.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links: [text](target).
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// pathRe matches internal/... path references in prose or code spans.
+var pathRe = regexp.MustCompile(`\binternal/[A-Za-z0-9_/.-]+`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "out" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		broken = append(broken, checkFile(root, path)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken reference(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all markdown references resolve")
+}
+
+// checkFile returns a diagnostic line for every unresolvable reference in
+// one markdown file.
+func checkFile(root, path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var broken []string
+	lines := strings.Split(string(data), "\n")
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			if frag := strings.IndexByte(target, '#'); frag >= 0 {
+				target = target[:frag]
+			}
+			if target == "" {
+				continue // pure fragment link within the same document
+			}
+			// Relative links resolve against the document's directory.
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+		if inFence {
+			// Fenced blocks hold example output and hypothetical layouts;
+			// only check path references in prose and inline code.
+			continue
+		}
+		for _, ref := range pathRe.FindAllString(line, -1) {
+			ref = strings.TrimRight(ref, ".,;:")
+			if strings.Contains(ref, "...") {
+				continue // wildcard like internal/... is a pattern, not a path
+			}
+			if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: missing path %q", path, i+1, ref))
+			}
+		}
+	}
+	return broken
+}
+
+// skipLink reports whether a link target is outside docscheck's scope:
+// absolute URLs, mail links, and in-page anchors.
+func skipLink(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -92,6 +92,13 @@ type Queue struct {
 	pending    []*ioReq
 	dispatched *ioReq
 	counters   Counters
+	// free recycles completed ioReq structs; devReq/devDone are the single
+	// reused device-level request and its prebound completion, so the
+	// steady-state submit->dispatch->complete cycle allocates nothing beyond
+	// the caller's done closure.
+	free    []*ioReq
+	devReq  disk.Request
+	devDone func()
 	// frozen suspends dispatch until the given time (a fault-injected
 	// brown-out); submissions and merges continue, so the backlog and the
 	// queue-time integrals keep accounting through the stall.
@@ -116,7 +123,9 @@ type Queue struct {
 // New wraps a disk with a request queue.
 func New(eng *sim.Engine, dev *disk.Disk, cfg Config) *Queue {
 	cfg.applyDefaults()
-	return &Queue{eng: eng, dev: dev, cfg: cfg}
+	q := &Queue{eng: eng, dev: dev, cfg: cfg}
+	q.devDone = func() { q.complete(q.dispatched) }
+	return q
 }
 
 // Instrument registers block-layer metrics on the sink under the given
@@ -219,10 +228,17 @@ func (q *Queue) Submit(op disk.Op, sector, sectors int64, done func()) {
 		}
 	}
 
-	q.pending = append(q.pending, &ioReq{
-		op: op, sector: sector, sectors: sectors,
-		arrival: q.eng.Now(), dones: []func(){done},
-	})
+	var req *ioReq
+	if n := len(q.free); n > 0 {
+		req = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		req = &ioReq{}
+	}
+	req.op, req.sector, req.sectors = op, sector, sectors
+	req.arrival, req.merges = q.eng.Now(), 0
+	req.dones = append(req.dones[:0], done)
+	q.pending = append(q.pending, req)
 	q.gDepthMax.Max(float64(len(q.pending)))
 	q.maybeDispatch()
 }
@@ -316,12 +332,13 @@ func (q *Queue) maybeDispatch() {
 	} else {
 		q.consecReads = 0
 	}
-	q.dev.Submit(&disk.Request{
+	q.devReq = disk.Request{
 		Op:      req.op,
 		Sector:  req.sector,
 		Sectors: req.sectors,
-		Done:    func() { q.complete(req) },
-	})
+		Done:    q.devDone,
+	}
+	q.dev.Submit(&q.devReq)
 }
 
 func (q *Queue) complete(req *ioReq) {
@@ -344,5 +361,14 @@ func (q *Queue) complete(req *ioReq) {
 	for _, d := range req.dones {
 		d()
 	}
+	// Recycle after the completion callbacks: they may submit re-entrantly,
+	// but any new request either merged into a pending one or came from the
+	// free list / a fresh allocation — never this req, which left q.pending
+	// at dispatch.
+	for i := range req.dones {
+		req.dones[i] = nil
+	}
+	req.dones = req.dones[:0]
+	q.free = append(q.free, req)
 	q.maybeDispatch()
 }

@@ -102,6 +102,10 @@ type Disk struct {
 	// arbitrarily slower.
 	slow  float64
 	stats Stats
+	// pending is the in-flight request; completeFn is the completion bound
+	// once at construction so the steady-state Submit path allocates nothing.
+	pending    *Request
+	completeFn func()
 
 	// Observability handles; nil unless Instrument attached a sink.
 	sink         *obs.Sink
@@ -119,12 +123,14 @@ func New(eng *sim.Engine, cfg Config) *Disk {
 	if cfg.TotalSectors <= 0 {
 		panic("disk: non-positive capacity")
 	}
-	return &Disk{
+	d := &Disk{
 		eng:  eng,
 		cfg:  cfg,
 		rng:  sim.NewRNG(cfg.Seed ^ 0x6b15),
 		slow: 1,
 	}
+	d.completeFn = d.complete
+	return d
 }
 
 // Instrument registers device metrics on the sink under the given instance
@@ -236,9 +242,16 @@ func (d *Disk) Submit(r *Request) {
 	} else {
 		d.stats.SectorsWrite += uint64(r.Sectors)
 	}
-	d.eng.Schedule(total, func() {
-		d.busy = false
-		d.head = r.Sector + r.Sectors
-		r.Done()
-	})
+	d.pending = r
+	d.eng.Schedule(total, d.completeFn)
+}
+
+// complete finishes the in-flight request. The head moves before Done runs
+// so a completion callback that resubmits sees the post-request position.
+func (d *Disk) complete() {
+	r := d.pending
+	d.pending = nil
+	d.busy = false
+	d.head = r.Sector + r.Sectors
+	r.Done()
 }

@@ -16,9 +16,13 @@ func newTestOST(t *testing.T) (*sim.Engine, *OST) {
 	return eng, newOST(eng, cfg, 0, oss, 7)
 }
 
+// cloneRuns copies mapRange's scratch-backed result so a test can hold it
+// across a subsequent mapRange call.
+func cloneRuns(rs []run) []run { return append([]run(nil), rs...) }
+
 func TestMapRangeSequentialIsContiguous(t *testing.T) {
 	_, o := newTestOST(t)
-	a := o.mapRange(1, 0, 100)
+	a := cloneRuns(o.mapRange(1, 0, 100))
 	b := o.mapRange(1, 100, 100)
 	if len(a) != 1 || len(b) != 1 {
 		t.Fatalf("runs a=%v b=%v", a, b)
@@ -34,7 +38,7 @@ func TestMapRangeSequentialIsContiguous(t *testing.T) {
 
 func TestMapRangeOverwriteReusesSectors(t *testing.T) {
 	_, o := newTestOST(t)
-	first := o.mapRange(1, 0, 64)
+	first := cloneRuns(o.mapRange(1, 0, 64))
 	again := o.mapRange(1, 0, 64)
 	if first[0] != again[0] {
 		t.Fatalf("overwrite moved data: %v vs %v", first, again)
@@ -43,8 +47,8 @@ func TestMapRangeOverwriteReusesSectors(t *testing.T) {
 
 func TestMapRangeInterleavedObjectsFragment(t *testing.T) {
 	_, o := newTestOST(t)
-	a1 := o.mapRange(1, 0, 64)
-	b1 := o.mapRange(2, 0, 64)
+	a1 := cloneRuns(o.mapRange(1, 0, 64))
+	b1 := cloneRuns(o.mapRange(2, 0, 64))
 	a2 := o.mapRange(1, 64, 64)
 	// Object 1's second chunk cannot be adjacent to its first: object 2
 	// allocated in between (the fragmentation mechanism behind the
@@ -90,7 +94,7 @@ func TestPropertyMapRangeInvariants(t *testing.T) {
 		// ownership tracks which object owns each physical sector.
 		owner := map[int64]uint64{}
 		for _, qu := range queries {
-			runs := o.mapRange(qu.obj, qu.start, qu.n)
+			runs := cloneRuns(o.mapRange(qu.obj, qu.start, qu.n))
 			var covered int64
 			for _, r := range runs {
 				if r.length <= 0 {

@@ -61,6 +61,9 @@ type OST struct {
 
 	objects    map[uint64]*object
 	nextSector int64
+	// runsBuf is mapRange's reusable scratch; see mapRange for the aliasing
+	// contract.
+	runsBuf []run
 
 	dirtyBytes    int64
 	dirtyExtents  []dirtyExtent
@@ -176,12 +179,16 @@ func (o *OST) object(id uint64) *object {
 // allocating space for any holes. Allocation is append-style (like ldiskfs
 // block allocation under streaming writes): consecutive logical extents of
 // one object land physically adjacent, while interleaved objects fragment.
+//
+// The returned slice aliases the OST's scratch buffer: it is valid only
+// until the next mapRange call on this OST. Callers that retain runs past
+// the current event (the write-throttle path) must copy them.
 func (o *OST) mapRange(objID uint64, startSec, nSec int64) []run {
 	if nSec <= 0 {
 		panic(fmt.Sprintf("lustre: empty range on ost %d", o.ID))
 	}
 	obj := o.object(objID)
-	var runs []run
+	runs := o.runsBuf[:0]
 	cur := startSec
 	end := startSec + nSec
 	for cur < end {
@@ -226,6 +233,7 @@ func (o *OST) mapRange(objID uint64, startSec, nSec int64) []run {
 		runs = append(runs, run{sector: phys, length: n})
 		cur += n
 	}
+	o.runsBuf = runs
 	return runs
 }
 
@@ -249,8 +257,11 @@ func (o *OST) write(objID uint64, off, length int64, done func()) {
 		(o.dirtyBytes > 0 && o.dirtyBytes+length > o.writebackLimit()) {
 		o.writesThrottled++
 		o.cThrottled.Inc()
+		// The waiter outlives this event, so it needs its own copy of the
+		// scratch-backed runs.
 		o.waiters = append(o.waiters, writeWaiter{
-			bytes: length, runs: runs, done: done, enqueued: o.eng.Now()})
+			bytes: length, runs: append([]run(nil), runs...),
+			done: done, enqueued: o.eng.Now()})
 		return
 	}
 	o.admit(length, runs, done)

@@ -27,6 +27,20 @@ type AttentionModel struct {
 	nFeat    int
 	d        int
 	classes  int
+
+	ce     nn.CEScratch
+	params []nn.Param // lazily cached Params() slice
+}
+
+// Replica implements Replicable: the returned model shares every weight
+// tensor with m but owns private gradients, caches, and scratch.
+func (m *AttentionModel) Replica() Model {
+	return &AttentionModel{
+		Embed: m.Embed.Replica(),
+		Wq:    m.Wq.Replica(), Wk: m.Wk.Replica(), Wv: m.Wv.Replica(),
+		Head:     m.Head.Replica(),
+		nTargets: m.nTargets, nFeat: m.nFeat, d: m.d, classes: m.classes,
+	}
 }
 
 // AttentionConfig sizes the model.
@@ -214,7 +228,7 @@ func (m *AttentionModel) backward(st *attnState, dlogits []float64) {
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
-		m.Embed.Backward(dEmbed[i])
+		m.Embed.BackwardNoDX(dEmbed[i])
 	}
 }
 
@@ -234,18 +248,21 @@ func (m *AttentionModel) Predict(vectors [][]float64) int {
 // LossAndGrad implements Model.
 func (m *AttentionModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
 	st := m.forward(vectors)
-	loss, dlogits := nn.SoftmaxCE(st.logits, label, weight)
+	loss, dlogits := m.ce.SoftmaxCE(st.logits, label, weight)
 	m.backward(st, dlogits)
 	return loss
 }
 
 // Params implements Model.
 func (m *AttentionModel) Params() []nn.Param {
-	out := m.Embed.Params()
-	out = append(out, m.Wq.Params()...)
-	out = append(out, m.Wk.Params()...)
-	out = append(out, m.Wv.Params()...)
-	return append(out, m.Head.Params()...)
+	if m.params == nil {
+		out := m.Embed.Params()
+		out = append(out, m.Wq.Params()...)
+		out = append(out, m.Wk.Params()...)
+		out = append(out, m.Wv.Params()...)
+		m.params = append(out, m.Head.Params()...)
+	}
+	return m.params
 }
 
-var _ Model = (*AttentionModel)(nil)
+var _ Replicable = (*AttentionModel)(nil)

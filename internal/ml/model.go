@@ -2,8 +2,9 @@
 // (§III-C): a shared dense network applied independently to each per-server
 // vector, whose scalar outputs are concatenated and fed to a small MLP head
 // for multi-bin classification. It also provides a flat-MLP baseline (for
-// the architecture ablation), the training loop, and evaluation metrics
-// (confusion matrices, precision/recall/F1).
+// the architecture ablation), an attention extension, the training loop
+// (serial, or data-parallel with deterministic gradient reduction), and
+// evaluation metrics (confusion matrices, precision/recall/F1).
 package ml
 
 import (
@@ -26,6 +27,18 @@ type Model interface {
 	Params() []nn.Param
 }
 
+// Replicable is a Model that can produce weight-sharing replicas for
+// data-parallel training (TrainConfig.Workers): a replica shares the
+// original's weight slices but owns private gradient accumulators and
+// scratch state, so replicas may run LossAndGrad concurrently as long as
+// weights are only updated between batches. All models in this package
+// implement it.
+type Replicable interface {
+	Model
+	// Replica returns a weight-sharing replica; see the interface comment.
+	Replica() Model
+}
+
 // KernelModel is the paper's architecture. Because the kernel network's
 // weights are shared across servers, the model generalizes over which
 // subset of OSTs a file actually uses — the motivation given in §III-C.
@@ -36,6 +49,15 @@ type KernelModel struct {
 	nTargets int
 	nFeat    int
 	classes  int
+
+	// Reusable per-model scratch; replicas get their own, keeping the
+	// training and inference hot loops allocation-free.
+	z          []float64  // kernel outputs / head input
+	zeroLogits []float64  // all-zero dlogits for cache drains
+	dzt        [1]float64 // per-target backward seed
+	probsBuf   []float64  // Predict's softmax output
+	ce         nn.CEScratch
+	params     []nn.Param // cached Params() slice
 }
 
 // KernelConfig sizes the model.
@@ -66,13 +88,30 @@ func NewKernelModel(cfg KernelConfig) *KernelModel {
 	kSizes = append(kSizes, 1)
 	hSizes := append([]int{cfg.NTargets}, cfg.HeadHidden...)
 	hSizes = append(hSizes, cfg.Classes)
-	return &KernelModel{
-		Kernel:   nn.MLP(rng, kSizes...),
-		Head:     nn.MLP(rng, hSizes...),
-		nTargets: cfg.NTargets,
-		nFeat:    cfg.NFeat,
-		classes:  cfg.Classes,
+	return newKernelModel(nn.MLP(rng, kSizes...), nn.MLP(rng, hSizes...),
+		cfg.NTargets, cfg.NFeat, cfg.Classes)
+}
+
+func newKernelModel(kernel, head *nn.Sequential, nTargets, nFeat, classes int) *KernelModel {
+	m := &KernelModel{
+		Kernel:   kernel,
+		Head:     head,
+		nTargets: nTargets,
+		nFeat:    nFeat,
+		classes:  classes,
+		z:        make([]float64, nTargets),
+		// zeroLogits stays all-zero: layers only read their dy argument.
+		zeroLogits: make([]float64, classes),
+		probsBuf:   make([]float64, classes),
 	}
+	m.params = append(m.Kernel.Params(), m.Head.Params()...)
+	return m
+}
+
+// Replica implements Replicable.
+func (m *KernelModel) Replica() Model {
+	return newKernelModel(m.Kernel.Replica(), m.Head.Replica(),
+		m.nTargets, m.nFeat, m.classes)
 }
 
 func (m *KernelModel) check(vectors [][]float64) {
@@ -84,50 +123,53 @@ func (m *KernelModel) check(vectors [][]float64) {
 // forward runs kernel-per-target then head, leaving caches in place.
 func (m *KernelModel) forward(vectors [][]float64) []float64 {
 	m.check(vectors)
-	z := make([]float64, m.nTargets)
 	for t, v := range vectors {
-		z[t] = m.Kernel.Forward(v)[0]
+		m.z[t] = m.Kernel.Forward(v)[0]
 	}
-	return m.Head.Forward(z)
+	return m.Head.Forward(m.z)
 }
 
 // drain pops all forward caches after an inference-only pass.
 func (m *KernelModel) drain() {
-	m.Head.Backward(make([]float64, m.classes))
+	m.Head.BackwardNoDX(m.zeroLogits)
+	m.dzt[0] = 0
 	for t := 0; t < m.nTargets; t++ {
-		m.Kernel.Backward([]float64{0})
+		m.Kernel.BackwardNoDX(m.dzt[:])
 	}
-	nn.ZeroGrads(m.Params())
+	nn.ZeroGrads(m.params)
 }
 
-// Probs implements Model.
+// Probs implements Model. The returned slice is freshly allocated.
 func (m *KernelModel) Probs(vectors [][]float64) []float64 {
 	logits := m.forward(vectors)
 	m.drain()
 	return nn.Softmax(logits)
 }
 
-// Predict implements Model.
+// Predict implements Model. Unlike Probs it allocates nothing, so it is the
+// entry point for the online predictor's per-window hot path.
 func (m *KernelModel) Predict(vectors [][]float64) int {
-	return argmax(m.Probs(vectors))
+	logits := m.forward(vectors)
+	m.drain()
+	return argmax(nn.SoftmaxInto(m.probsBuf, logits))
 }
 
 // LossAndGrad implements Model.
 func (m *KernelModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
 	logits := m.forward(vectors)
-	loss, dlogits := nn.SoftmaxCE(logits, label, weight)
+	loss, dlogits := m.ce.SoftmaxCE(logits, label, weight)
 	dz := m.Head.Backward(dlogits)
-	// Kernel caches are a stack: backprop targets in reverse order.
+	// Kernel caches are a stack: backprop targets in reverse order. The
+	// kernel's own input gradient is never used, so skip computing it.
 	for t := m.nTargets - 1; t >= 0; t-- {
-		m.Kernel.Backward([]float64{dz[t]})
+		m.dzt[0] = dz[t]
+		m.Kernel.BackwardNoDX(m.dzt[:])
 	}
 	return loss
 }
 
 // Params implements Model.
-func (m *KernelModel) Params() []nn.Param {
-	return append(m.Kernel.Params(), m.Head.Params()...)
-}
+func (m *KernelModel) Params() []nn.Param { return m.params }
 
 // FlatModel is the ablation baseline: one MLP over the concatenation of all
 // per-server vectors, with no weight sharing across servers.
@@ -136,6 +178,12 @@ type FlatModel struct {
 	nTargets int
 	nFeat    int
 	classes  int
+
+	flat       []float64 // flatten scratch
+	zeroLogits []float64
+	probsBuf   []float64
+	ce         nn.CEScratch
+	params     []nn.Param
 }
 
 // NewFlatModel builds the baseline with a comparable parameter budget.
@@ -146,41 +194,61 @@ func NewFlatModel(nTargets, nFeat, classes int, hidden []int, seed int64) *FlatM
 	rng := sim.NewRNG(seed ^ 0xf1a7)
 	sizes := append([]int{nTargets * nFeat}, hidden...)
 	sizes = append(sizes, classes)
-	return &FlatModel{
-		Net:      nn.MLP(rng, sizes...),
+	return newFlatModel(nn.MLP(rng, sizes...), nTargets, nFeat, classes)
+}
+
+func newFlatModel(net *nn.Sequential, nTargets, nFeat, classes int) *FlatModel {
+	m := &FlatModel{
+		Net:      net,
 		nTargets: nTargets, nFeat: nFeat, classes: classes,
+		flat:       make([]float64, 0, nTargets*nFeat),
+		zeroLogits: make([]float64, classes),
+		probsBuf:   make([]float64, classes),
 	}
+	m.params = m.Net.Params()
+	return m
+}
+
+// Replica implements Replicable.
+func (m *FlatModel) Replica() Model {
+	return newFlatModel(m.Net.Replica(), m.nTargets, m.nFeat, m.classes)
 }
 
 func (m *FlatModel) flatten(vectors [][]float64) []float64 {
-	x := make([]float64, 0, m.nTargets*m.nFeat)
+	x := m.flat[:0]
 	for _, v := range vectors {
 		x = append(x, v...)
 	}
+	m.flat = x
 	return x
 }
 
-// Probs implements Model.
+// Probs implements Model. The returned slice is freshly allocated.
 func (m *FlatModel) Probs(vectors [][]float64) []float64 {
 	logits := m.Net.Forward(m.flatten(vectors))
-	m.Net.Backward(make([]float64, m.classes))
-	nn.ZeroGrads(m.Net.Params())
+	m.Net.BackwardNoDX(m.zeroLogits)
+	nn.ZeroGrads(m.params)
 	return nn.Softmax(logits)
 }
 
-// Predict implements Model.
-func (m *FlatModel) Predict(vectors [][]float64) int { return argmax(m.Probs(vectors)) }
+// Predict implements Model; allocation-free like KernelModel.Predict.
+func (m *FlatModel) Predict(vectors [][]float64) int {
+	logits := m.Net.Forward(m.flatten(vectors))
+	m.Net.BackwardNoDX(m.zeroLogits)
+	nn.ZeroGrads(m.params)
+	return argmax(nn.SoftmaxInto(m.probsBuf, logits))
+}
 
 // LossAndGrad implements Model.
 func (m *FlatModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
 	logits := m.Net.Forward(m.flatten(vectors))
-	loss, dlogits := nn.SoftmaxCE(logits, label, weight)
-	m.Net.Backward(dlogits)
+	loss, dlogits := m.ce.SoftmaxCE(logits, label, weight)
+	m.Net.BackwardNoDX(dlogits)
 	return loss
 }
 
 // Params implements Model.
-func (m *FlatModel) Params() []nn.Param { return m.Net.Params() }
+func (m *FlatModel) Params() []nn.Param { return m.params }
 
 func argmax(xs []float64) int {
 	best := 0
@@ -192,5 +260,5 @@ func argmax(xs []float64) int {
 	return best
 }
 
-var _ Model = (*KernelModel)(nil)
-var _ Model = (*FlatModel)(nil)
+var _ Replicable = (*KernelModel)(nil)
+var _ Replicable = (*FlatModel)(nil)

@@ -6,8 +6,18 @@ import (
 
 	"quanterference/internal/dataset"
 	"quanterference/internal/nn"
+	"quanterference/internal/par"
 	"quanterference/internal/sim"
 )
+
+// gradShards is the fixed number of gradient shards a mini-batch is split
+// into on the data-parallel path. The shard partition and the reduction
+// tree depend only on this constant and the batch length — never on the
+// worker count — which is what makes trained weights bit-identical across
+// TrainConfig.Workers values. Four shards keeps the per-batch reduction
+// (shard-count accumulate+zero passes over every parameter) cheap relative
+// to the gradient work in each shard at the default batch size of 32.
+const gradShards = 4
 
 // TrainConfig controls the training loop.
 type TrainConfig struct {
@@ -18,7 +28,17 @@ type TrainConfig struct {
 	// BalanceClasses weights each sample inversely to its class frequency
 	// (the datasets are imbalanced, e.g. DLIO is ~4:1 negative).
 	BalanceClasses bool
-	// Quiet suppresses the per-epoch progress callback.
+	// Workers selects the training path. 0 (the default) is the legacy
+	// serial loop, kept bit-identical to previous releases. Any value >= 1
+	// uses the data-parallel sharded path: each mini-batch is split into
+	// gradShards fixed sample ranges, one weight-sharing model replica
+	// computes each shard's gradient, and shard gradients are combined by a
+	// fixed-order pairwise tree reduction. Weights are bit-identical for
+	// every Workers value (1 runs the same shard schedule on the calling
+	// goroutine); only wall-clock time changes. Models that do not
+	// implement Replicable fall back to the serial loop.
+	Workers int
+	// OnEpoch, when set, receives the mean training loss after each epoch.
 	OnEpoch func(epoch int, loss float64)
 }
 
@@ -34,23 +54,39 @@ func (c *TrainConfig) applyDefaults() {
 	}
 }
 
-// Train fits the model on the dataset with Adam and mini-batches.
-// It returns the final mean training loss.
-func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
-	cfg.applyDefaults()
-	if train.Len() == 0 {
-		panic("ml: empty training set")
-	}
+// classWeights computes the per-class loss weights for a dataset.
+func classWeights(train *dataset.Dataset, balance bool) []float64 {
 	weights := make([]float64, train.Classes)
 	for i := range weights {
 		weights[i] = 1
 	}
-	if cfg.BalanceClasses {
+	if balance {
 		counts := train.ClassCounts()
 		for c, n := range counts {
 			if n > 0 {
 				weights[c] = float64(train.Len()) / (float64(train.Classes) * float64(n))
 			}
+		}
+	}
+	return weights
+}
+
+// Train fits the model on the dataset with Adam and mini-batches.
+// It returns the final mean training loss.
+//
+// With cfg.Workers >= 1 and a Replicable model, gradient computation is
+// data-parallel with a deterministic reduction; see TrainConfig.Workers for
+// the exact contract. Both paths consume the same RNG stream, so they see
+// identical shuffles; they differ only in gradient summation order.
+func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
+	cfg.applyDefaults()
+	if train.Len() == 0 {
+		panic("ml: empty training set")
+	}
+	weights := classWeights(train, cfg.BalanceClasses)
+	if cfg.Workers >= 1 {
+		if r, ok := m.(Replicable); ok {
+			return trainSharded(r, train, cfg, weights)
 		}
 	}
 	opt := nn.NewAdam(cfg.LR)
@@ -69,6 +105,84 @@ func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
 				epochLoss += m.LossAndGrad(s.Vectors, s.Label, weights[s.Label])
 			}
 			opt.Step(m.Params(), 1/float64(end-start))
+		}
+		lastLoss = epochLoss / float64(train.Len())
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, lastLoss)
+		}
+	}
+	return lastLoss
+}
+
+// shardBounds splits n samples into ns shards by ceiling division and
+// returns shard s's [lo, hi) range (possibly empty for trailing shards).
+func shardBounds(n, ns, s int) (int, int) {
+	size := (n + ns - 1) / ns
+	lo := s * size
+	hi := lo + size
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// trainSharded is the data-parallel gradient path: per-shard model replicas
+// fan out via par.MapN, then a fixed-order pairwise tree combines shard
+// gradients and losses. All floating-point summation orders are functions
+// of the batch length alone, so weights are bit-identical for any
+// cfg.Workers >= 1.
+func trainSharded(m Replicable, train *dataset.Dataset, cfg TrainConfig, weights []float64) float64 {
+	opt := nn.NewAdam(cfg.LR)
+	rng := sim.NewRNG(cfg.Seed ^ 0x7a11)
+	mainParams := m.Params()
+	replicas := make([]Model, gradShards)
+	repParams := make([][]nn.Param, gradShards)
+	for i := range replicas {
+		replicas[i] = m.Replica()
+		repParams[i] = replicas[i].Params()
+	}
+	losses := make([]float64, gradShards)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(train.Len())
+		var epochLoss float64
+		for start := 0; start < len(perm); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := perm[start:end]
+			ns := gradShards
+			if len(batch) < ns {
+				ns = len(batch)
+			}
+			// Each shard accumulates into its own replica: no shared
+			// mutable state between workers until the barrier below.
+			par.MapN(ns, cfg.Workers, func(s int) {
+				lo, hi := shardBounds(len(batch), ns, s)
+				rep := replicas[s]
+				var loss float64
+				for _, idx := range batch[lo:hi] {
+					smp := train.Samples[idx]
+					loss += rep.LossAndGrad(smp.Vectors, smp.Label, weights[smp.Label])
+				}
+				losses[s] = loss
+			})
+			// Fixed-order pairwise tree reduction over shards 0..ns-1.
+			for stride := 1; stride < ns; stride *= 2 {
+				for i := 0; i+stride < ns; i += 2 * stride {
+					nn.AccumulateGrads(repParams[i], repParams[i+stride])
+					nn.ZeroGrads(repParams[i+stride])
+					losses[i] += losses[i+stride]
+				}
+			}
+			nn.AccumulateGrads(mainParams, repParams[0])
+			nn.ZeroGrads(repParams[0])
+			epochLoss += losses[0]
+			opt.Step(mainParams, 1/float64(len(batch)))
 		}
 		lastLoss = epochLoss / float64(train.Len())
 		if cfg.OnEpoch != nil {

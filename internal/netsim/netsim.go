@@ -13,7 +13,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"quanterference/internal/obs"
 	"quanterference/internal/sim"
@@ -42,7 +41,13 @@ type link struct {
 	name  string
 	cap   float64
 	scale float64 // fault-injected capacity multiplier in (0, 1]
-	flows map[*flow]struct{}
+
+	// Progressive-filling scratch, valid only while epoch matches the
+	// network's current recompute epoch; storing it here keeps recompute
+	// allocation-free.
+	remCap   float64
+	unfrozen int
+	epoch    uint64
 }
 
 // effCap is the usable capacity under the current degradation scale.
@@ -78,11 +83,21 @@ type Network struct {
 	eng   *sim.Engine
 	cfg   Config
 	nodes map[string]*node
-	flows map[*flow]struct{}
+	// flows holds active transfers in creation (id) order: every loop over
+	// it — draining, bottleneck search, completion — is deterministic by
+	// construction, and removal compacts in place.
+	flows []*flow
 
 	lastAdvance sim.Time
 	gen         uint64 // invalidates stale completion events
 	nextFlowID  uint64
+
+	// Reusable scratch and free lists for the recompute/finish hot path.
+	epoch       uint64
+	freeFlows   []*flow
+	linksBuf    []*link
+	unfrozenBuf []*flow
+	finishedBuf []*flow
 
 	// Observability handles; nil unless Instrument attached a sink.
 	sink        *obs.Sink
@@ -100,7 +115,6 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		eng:   eng,
 		cfg:   cfg,
 		nodes: make(map[string]*node),
-		flows: make(map[*flow]struct{}),
 	}
 }
 
@@ -129,8 +143,8 @@ func (n *Network) AddNode(name string, bps float64) {
 	}
 	n.nodes[name] = &node{
 		name: name,
-		up:   &link{name: name + "/up", cap: bps, scale: 1, flows: map[*flow]struct{}{}},
-		down: &link{name: name + "/down", cap: bps, scale: 1, flows: map[*flow]struct{}{}},
+		up:   &link{name: name + "/up", cap: bps, scale: 1},
+		down: &link{name: name + "/down", cap: bps, scale: 1},
 	}
 }
 
@@ -191,14 +205,19 @@ func (n *Network) Transfer(src, dst string, bytes int64, done func()) {
 	s.bytesSent += uint64(bytes)
 	d.bytesRecv += uint64(bytes)
 	n.nextFlowID++
-	f := &flow{id: n.nextFlowID, src: s, dst: d, remaining: float64(bytes), done: done,
+	var f *flow
+	if k := len(n.freeFlows); k > 0 {
+		f = n.freeFlows[k-1]
+		n.freeFlows = n.freeFlows[:k-1]
+	} else {
+		f = &flow{}
+	}
+	*f = flow{id: n.nextFlowID, src: s, dst: d, remaining: float64(bytes), done: done,
 		start: n.eng.Now(), bytes: bytes}
 	n.cFlows.Inc()
 	n.cBytes.Add(uint64(bytes))
 	n.advance()
-	n.flows[f] = struct{}{}
-	s.up.flows[f] = struct{}{}
-	d.down.flows[f] = struct{}{}
+	n.flows = append(n.flows, f) // ids increase, so the slice stays id-sorted
 	n.gActiveMax.Max(float64(len(n.flows)))
 	n.reschedule()
 }
@@ -211,7 +230,7 @@ func (n *Network) advance() {
 	if dt <= 0 {
 		return
 	}
-	for f := range n.flows {
+	for _, f := range n.flows {
 		f.remaining -= f.rate * dt
 		if f.remaining < 0 {
 			f.remaining = 0
@@ -219,40 +238,43 @@ func (n *Network) advance() {
 	}
 }
 
-// recompute assigns max-min fair rates via progressive filling.
+// recompute assigns max-min fair rates via progressive filling. Link state
+// lives on the links themselves (epoch-stamped) and the worklists reuse the
+// network's scratch slices, so the whole pass is allocation-free; every
+// iteration runs in flow-id or first-touch order, so ties resolve the same
+// way on every run.
 func (n *Network) recompute() {
 	if len(n.flows) == 0 {
 		return
 	}
 	n.cRecomputes.Inc()
-	type linkState struct {
-		remCap   float64
-		unfrozen int
-	}
-	states := make(map[*link]*linkState)
-	touch := func(l *link) *linkState {
-		st, ok := states[l]
-		if !ok {
-			st = &linkState{remCap: l.effCap()}
-			states[l] = st
+	n.epoch++
+	links := n.linksBuf[:0]
+	touch := func(l *link) {
+		if l.epoch != n.epoch {
+			l.epoch = n.epoch
+			l.remCap = l.effCap()
+			l.unfrozen = 0
+			links = append(links, l)
 		}
-		return st
 	}
-	unfrozen := make(map[*flow]struct{}, len(n.flows))
-	for f := range n.flows {
-		unfrozen[f] = struct{}{}
-		touch(f.src.up).unfrozen++
-		touch(f.dst.down).unfrozen++
+	unfrozen := n.unfrozenBuf[:0]
+	for _, f := range n.flows {
+		unfrozen = append(unfrozen, f)
+		touch(f.src.up)
+		f.src.up.unfrozen++
+		touch(f.dst.down)
+		f.dst.down.unfrozen++
 	}
 	for len(unfrozen) > 0 {
 		// Find the bottleneck link: minimum fair share.
 		var bottleneck *link
 		minShare := math.Inf(1)
-		for l, st := range states {
-			if st.unfrozen == 0 {
+		for _, l := range links {
+			if l.unfrozen == 0 {
 				continue
 			}
-			share := st.remCap / float64(st.unfrozen)
+			share := l.remCap / float64(l.unfrozen)
 			if share < minShare {
 				minShare = share
 				bottleneck = l
@@ -261,23 +283,27 @@ func (n *Network) recompute() {
 		if bottleneck == nil {
 			break
 		}
-		// Freeze every unfrozen flow crossing the bottleneck at minShare.
-		for f := range unfrozen {
+		// Freeze every unfrozen flow crossing the bottleneck at minShare,
+		// compacting the survivors in place.
+		keep := unfrozen[:0]
+		for _, f := range unfrozen {
 			if f.src.up != bottleneck && f.dst.down != bottleneck {
+				keep = append(keep, f)
 				continue
 			}
 			f.rate = minShare
-			delete(unfrozen, f)
-			for _, l := range []*link{f.src.up, f.dst.down} {
-				st := states[l]
-				st.remCap -= minShare
-				if st.remCap < 0 {
-					st.remCap = 0
+			for _, l := range [2]*link{f.src.up, f.dst.down} {
+				l.remCap -= minShare
+				if l.remCap < 0 {
+					l.remCap = 0
 				}
-				st.unfrozen--
+				l.unfrozen--
 			}
 		}
+		unfrozen = keep
 	}
+	n.linksBuf = links[:0]
+	n.unfrozenBuf = unfrozen[:0]
 }
 
 // reschedule recomputes rates and arms the next completion event.
@@ -288,7 +314,7 @@ func (n *Network) reschedule() {
 	}
 	// Earliest completion among active flows.
 	soonest := math.Inf(1)
-	for f := range n.flows {
+	for _, f := range n.flows {
 		if f.rate <= 0 {
 			continue
 		}
@@ -316,32 +342,35 @@ func (n *Network) reschedule() {
 }
 
 // finishDrained completes flows whose bytes have drained and reschedules.
+// n.flows is id-sorted, so splitting it preserves creation order — the
+// stable completion order reproducibility requires — without sorting.
 func (n *Network) finishDrained() {
 	const eps = 1.0 // within one byte counts as done
-	var finished []*flow
-	for f := range n.flows {
+	finished := n.finishedBuf[:0]
+	active := n.flows[:0]
+	for _, f := range n.flows {
 		if f.remaining <= eps {
 			finished = append(finished, f)
+		} else {
+			active = append(active, f)
 		}
 	}
-	// Map iteration order is random; completion order must be stable for
-	// the simulation to be reproducible.
-	sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+	n.flows = active
 	now := n.eng.Now()
 	traceOn := n.sink.TraceEnabled()
 	for _, f := range finished {
-		delete(n.flows, f)
-		delete(f.src.up.flows, f)
-		delete(f.dst.down.flows, f)
 		n.hFlowNS.Observe(float64(now - f.start))
 		if traceOn {
 			n.sink.Span("netsim", f.dst.name, "flow:"+f.src.name, f.start, now-f.start)
 		}
 	}
 	n.reschedule()
-	for _, f := range finished {
-		lat := n.cfg.Latency
-		done := f.done
-		n.eng.Schedule(lat, done)
+	for i, f := range finished {
+		n.eng.Schedule(n.cfg.Latency, f.done)
+		// The engine holds the done closure, not the flow: recycle it.
+		f.done = nil
+		finished[i] = nil
+		n.freeFlows = append(n.freeFlows, f)
 	}
+	n.finishedBuf = finished[:0]
 }

@@ -8,6 +8,31 @@
 // what the kernel-based model does when it applies the same shared network
 // to each per-server vector — as long as Backward calls happen in reverse
 // order of the Forwards.
+//
+// # Buffer reuse
+//
+// Layers recycle their forward-output and backward-gradient buffers through
+// depth-indexed pools instead of allocating per call, which removes every
+// per-sample allocation from the training hot loop. The contract callers get
+// is exactly what the LIFO cache discipline already implies:
+//
+//   - A Forward result is valid until the Backward that consumes the same
+//     stack depth has run and the layer is Forwarded at that depth again.
+//   - A Backward result is valid until the layer's next Backward at the same
+//     stack depth — in a training loop, until the next sample.
+//
+// Every model in internal/ml (kernel, flat, attention, regressor) satisfies
+// this by construction. Buffer reuse changes no arithmetic: serial training
+// produces bit-identical weights to the pre-pooling implementation.
+//
+// # Replicas
+//
+// Data-parallel training (internal/ml's TrainConfig.Workers) runs one model
+// replica per gradient shard. Dense.Replica, ReLU.Replica, and
+// Sequential.Replica return layers that share the trainable weight slices
+// with the original but own private gradient accumulators, caches, and
+// scratch pools, so replicas may run forward/backward concurrently as long
+// as weights are only updated between batches.
 package nn
 
 import (
@@ -34,6 +59,54 @@ type Layer interface {
 	Params() []Param
 }
 
+// LayerReplicator is the extension hook for custom layers that support
+// weight-sharing replicas; the built-in layers are handled directly by
+// ReplicaLayer.
+type LayerReplicator interface {
+	// ReplicaLayer returns a layer sharing this layer's trainable weights
+	// but owning private gradient accumulators and caches.
+	ReplicaLayer() Layer
+}
+
+// ReplicaLayer returns a weight-sharing replica of any supported layer (the
+// built-ins, or anything implementing LayerReplicator). It panics on layers
+// that cannot be replicated.
+func ReplicaLayer(l Layer) Layer {
+	switch t := l.(type) {
+	case *Dense:
+		return t.Replica()
+	case *ReLU:
+		return t.Replica()
+	case *Sequential:
+		return t.Replica()
+	}
+	if r, ok := l.(LayerReplicator); ok {
+		return r.ReplicaLayer()
+	}
+	panic(fmt.Sprintf("nn: layer %T does not support replicas", l))
+}
+
+// bufPool recycles float64 buffers by forward-stack depth: the buffer used
+// at depth k is handed out again the next time the layer runs at depth k,
+// which the LIFO cache discipline guarantees is after the previous consumer
+// finished with it. Buffers come back with stale contents; callers must
+// overwrite (or clear) them fully.
+type bufPool struct {
+	bufs [][]float64
+}
+
+func (p *bufPool) get(depth, n int) []float64 {
+	for len(p.bufs) <= depth {
+		p.bufs = append(p.bufs, nil)
+	}
+	b := p.bufs[depth]
+	if cap(b) < n {
+		b = make([]float64, n)
+		p.bufs[depth] = b
+	}
+	return b[:n]
+}
+
 // Dense is a fully connected layer: y = Wx + b.
 type Dense struct {
 	In, Out int
@@ -41,6 +114,8 @@ type Dense struct {
 	GW, GB  []float64
 
 	inputs [][]float64 // forward cache stack
+	outs   bufPool     // forward output buffers, by stack depth
+	dxs    bufPool     // backward input-gradient buffers, by stack depth
 }
 
 // NewDense creates a dense layer with He-normal initialization.
@@ -59,37 +134,153 @@ func NewDense(in, out int, rng *sim.RNG) *Dense {
 	return d
 }
 
-// Forward implements Layer.
+// Replica returns a Dense sharing W and B with d but owning fresh gradient
+// accumulators, caches, and scratch buffers (see the package comment).
+func (d *Dense) Replica() *Dense {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		W: d.W, B: d.B,
+		GW: make([]float64, len(d.GW)),
+		GB: make([]float64, len(d.GB)),
+	}
+}
+
+// Forward implements Layer. The returned slice is pooled; see the package
+// comment for its lifetime.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, len(x)))
 	}
+	y := d.outs.get(len(d.inputs), d.Out)
 	d.inputs = append(d.inputs, x)
-	y := make([]float64, d.Out)
-	for o := 0; o < d.Out; o++ {
-		row := d.W[o*d.In : (o+1)*d.In]
+	n := d.In
+	x = x[:n] // pin the length so the inner loops need no bounds checks
+	// Four output rows at a time: each accumulator still sums its products
+	// in ascending-i order (so results are bit-identical to the row-at-a-time
+	// loop), but the four dependency chains overlap instead of serializing on
+	// FP-add latency.
+	o := 0
+	for ; o+3 < d.Out; o += 4 {
+		// Two-step slicing makes each row's length provably n, so the inner
+		// loop compiles without bounds checks.
+		r0 := d.W[(o+0)*n:][:n]
+		r1 := d.W[(o+1)*n:][:n]
+		r2 := d.W[(o+2)*n:][:n]
+		r3 := d.W[(o+3)*n:][:n]
+		s0, s1, s2, s3 := d.B[o], d.B[o+1], d.B[o+2], d.B[o+3]
+		for i := range x {
+			xi := x[i]
+			s0 += r0[i] * xi
+			s1 += r1[i] * xi
+			s2 += r2[i] * xi
+			s3 += r3[i] * xi
+		}
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+	for ; o < d.Out; o++ {
+		row := d.W[o*n : o*n+n]
 		s := d.B[o]
-		for i, xi := range x {
-			s += row[i] * xi
+		for i := range row {
+			s += row[i] * x[i]
 		}
 		y[o] = s
 	}
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned slice is pooled; see the package
+// comment for its lifetime.
 func (d *Dense) Backward(dy []float64) []float64 {
+	return d.backward(dy, true)
+}
+
+// BackwardNoDX is Backward for an input-adjacent layer: it accumulates
+// parameter gradients and pops the cache but skips computing the gradient
+// with respect to the input, which the caller is going to discard.
+func (d *Dense) BackwardNoDX(dy []float64) {
+	d.backward(dy, false)
+}
+
+func (d *Dense) backward(dy []float64, needDX bool) []float64 {
 	if len(d.inputs) == 0 {
 		panic("nn: dense backward without forward")
 	}
 	x := d.inputs[len(d.inputs)-1]
 	d.inputs = d.inputs[:len(d.inputs)-1]
-	dx := make([]float64, d.In)
-	for o, g := range dy {
-		row := d.W[o*d.In : (o+1)*d.In]
-		grow := d.GW[o*d.In : (o+1)*d.In]
+	n := d.In
+	x = x[:n]
+	// Both paths process four output rows per pass, like Forward. Gradient
+	// elements are each touched once per call, and dx[i] accumulates its four
+	// contributions as separate statements in ascending-o order, so blocking
+	// changes no floating-point summation order.
+	if !needDX {
+		o := 0
+		for ; o+3 < len(dy); o += 4 {
+			g0, g1, g2, g3 := dy[o], dy[o+1], dy[o+2], dy[o+3]
+			d.GB[o] += g0
+			d.GB[o+1] += g1
+			d.GB[o+2] += g2
+			d.GB[o+3] += g3
+			w0 := d.GW[(o+0)*n:][:n]
+			w1 := d.GW[(o+1)*n:][:n]
+			w2 := d.GW[(o+2)*n:][:n]
+			w3 := d.GW[(o+3)*n:][:n]
+			for i := range x {
+				xi := x[i]
+				w0[i] += g0 * xi
+				w1[i] += g1 * xi
+				w2[i] += g2 * xi
+				w3[i] += g3 * xi
+			}
+		}
+		for ; o < len(dy); o++ {
+			g := dy[o]
+			grow := d.GW[o*n : o*n+n]
+			d.GB[o] += g
+			for i := range grow {
+				grow[i] += g * x[i]
+			}
+		}
+		return nil
+	}
+	dx := d.dxs.get(len(d.inputs), n)[:n]
+	clear(dx)
+	o := 0
+	for ; o+3 < len(dy); o += 4 {
+		g0, g1, g2, g3 := dy[o], dy[o+1], dy[o+2], dy[o+3]
+		d.GB[o] += g0
+		d.GB[o+1] += g1
+		d.GB[o+2] += g2
+		d.GB[o+3] += g3
+		r0 := d.W[(o+0)*n:][:n]
+		r1 := d.W[(o+1)*n:][:n]
+		r2 := d.W[(o+2)*n:][:n]
+		r3 := d.W[(o+3)*n:][:n]
+		w0 := d.GW[(o+0)*n:][:n]
+		w1 := d.GW[(o+1)*n:][:n]
+		w2 := d.GW[(o+2)*n:][:n]
+		w3 := d.GW[(o+3)*n:][:n]
+		for i := range x {
+			xi := x[i]
+			w0[i] += g0 * xi
+			w1[i] += g1 * xi
+			w2[i] += g2 * xi
+			w3[i] += g3 * xi
+			v := dx[i]
+			v += g0 * r0[i]
+			v += g1 * r1[i]
+			v += g2 * r2[i]
+			v += g3 * r3[i]
+			dx[i] = v
+		}
+	}
+	for ; o < len(dy); o++ {
+		g := dy[o]
+		row := d.W[o*n : o*n+n]
+		grow := d.GW[o*n : o*n+n]
 		d.GB[o] += g
-		for i, xi := range x {
+		for i := range row {
+			xi := x[i]
 			grow[i] += g * xi
 			dx[i] += g * row[i]
 		}
@@ -104,35 +295,48 @@ func (d *Dense) Params() []Param {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	masks [][]bool
+	// cached forward outputs double as the mask: out[i] > 0 iff the unit
+	// was active.
+	cache [][]float64
+	outs  bufPool
+	dxs   bufPool
 }
 
-// Forward implements Layer.
+// Replica returns a fresh ReLU (the activation has no weights to share).
+func (r *ReLU) Replica() *ReLU { return &ReLU{} }
+
+// Forward implements Layer. The returned slice is pooled; see the package
+// comment for its lifetime.
 func (r *ReLU) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
-	mask := make([]bool, len(x))
+	y := r.outs.get(len(r.cache), len(x))
 	for i, v := range x {
-		if v > 0 {
-			y[i] = v
-			mask[i] = true
-		}
+		// Branchless: activation signs are data-dependent, so an if/else
+		// here mispredicts constantly. max maps -0 to +0 like the branch
+		// did; it differs only on NaN, which means training has already
+		// diverged.
+		y[i] = max(v, 0)
 	}
-	r.masks = append(r.masks, mask)
+	r.cache = append(r.cache, y)
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned slice is pooled; see the package
+// comment for its lifetime.
 func (r *ReLU) Backward(dy []float64) []float64 {
-	if len(r.masks) == 0 {
+	if len(r.cache) == 0 {
 		panic("nn: relu backward without forward")
 	}
-	mask := r.masks[len(r.masks)-1]
-	r.masks = r.masks[:len(r.masks)-1]
-	dx := make([]float64, len(dy))
+	y := r.cache[len(r.cache)-1]
+	r.cache = r.cache[:len(r.cache)-1]
+	dx := r.dxs.get(len(r.cache), len(dy))
 	for i, g := range dy {
-		if mask[i] {
-			dx[i] = g
-		}
+		// Forward clamps to +0, so y[i] is never negative or -0: the unit
+		// was active iff y[i]'s bits are nonzero. b|-b has its sign bit set
+		// exactly when b != 0, making the mask branchless (the branch form
+		// mispredicts on data-dependent activation signs).
+		b := math.Float64bits(y[i])
+		m := uint64(int64(b|-b) >> 63)
+		dx[i] = math.Float64frombits(math.Float64bits(g) & m)
 	}
 	return dx
 }
@@ -147,6 +351,16 @@ type Sequential struct {
 
 // NewSequential builds a chain.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Replica returns a Sequential whose layers are weight-sharing replicas of
+// s's layers (see the package comment).
+func (s *Sequential) Replica() *Sequential {
+	layers := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		layers[i] = ReplicaLayer(l)
+	}
+	return &Sequential{Layers: layers}
+}
 
 // MLP builds Dense+ReLU stacks with the given sizes; the final Dense has no
 // activation. sizes must have at least two entries (input, output).
@@ -180,6 +394,20 @@ func (s *Sequential) Backward(dy []float64) []float64 {
 	return dy
 }
 
+// BackwardNoDX is Backward for an input-adjacent stack: the gradient with
+// respect to the stack's input is discarded, letting a first Dense layer
+// skip computing it. Parameter gradients are identical to Backward's.
+func (s *Sequential) BackwardNoDX(dy []float64) {
+	for i := len(s.Layers) - 1; i >= 1; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	if d, ok := s.Layers[0].(*Dense); ok {
+		d.BackwardNoDX(dy)
+		return
+	}
+	s.Layers[0].Backward(dy)
+}
+
 // Params implements Layer.
 func (s *Sequential) Params() []Param {
 	var out []Param
@@ -189,44 +417,76 @@ func (s *Sequential) Params() []Param {
 	return out
 }
 
-// Softmax returns the normalized class distribution for logits.
-func Softmax(logits []float64) []float64 {
+// SoftmaxInto writes the normalized class distribution for logits into dst,
+// which must have the same length as logits, and returns dst.
+func SoftmaxInto(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("nn: softmax dst %d != logits %d", len(dst), len(logits)))
+	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
-		out[i] = math.Exp(v - maxv)
-		sum += out[i]
+		dst[i] = math.Exp(v - maxv)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
+	return dst
 }
 
-// SoftmaxCE returns the cross-entropy loss for the true label, and the
-// gradient with respect to the logits, optionally scaled by weight.
-func SoftmaxCE(logits []float64, label int, weight float64) (float64, []float64) {
+// Softmax returns the normalized class distribution for logits in a freshly
+// allocated slice. Hot loops should hold a CEScratch (or call SoftmaxInto
+// with a reused buffer) instead.
+func Softmax(logits []float64) []float64 {
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// CEScratch holds reusable buffers for softmax cross-entropy so the training
+// hot loop allocates nothing per sample. The zero value is ready to use.
+// A CEScratch must not be shared between goroutines; data-parallel training
+// gives each model replica its own.
+type CEScratch struct {
+	probs []float64
+	grad  []float64
+}
+
+// SoftmaxCE returns the cross-entropy loss for the true label and the
+// gradient with respect to the logits, optionally scaled by weight. The
+// returned gradient aliases the scratch and is valid until the next call.
+func (s *CEScratch) SoftmaxCE(logits []float64, label int, weight float64) (float64, []float64) {
 	if label < 0 || label >= len(logits) {
 		panic(fmt.Sprintf("nn: label %d out of range %d", label, len(logits)))
 	}
-	probs := Softmax(logits)
+	if cap(s.probs) < len(logits) {
+		s.probs = make([]float64, len(logits))
+		s.grad = make([]float64, len(logits))
+	}
+	probs := SoftmaxInto(s.probs[:len(logits)], logits)
 	p := probs[label]
 	if p < 1e-15 {
 		p = 1e-15
 	}
 	loss := -math.Log(p) * weight
-	grad := make([]float64, len(logits))
+	grad := s.grad[:len(logits)]
 	for i, q := range probs {
 		grad[i] = q * weight
 	}
 	grad[label] -= weight
 	return loss, grad
+}
+
+// SoftmaxCE returns the cross-entropy loss for the true label, and the
+// gradient with respect to the logits, optionally scaled by weight. Both
+// returned values are freshly allocated; hot loops should use CEScratch.
+func SoftmaxCE(logits []float64, label int, weight float64) (float64, []float64) {
+	var s CEScratch
+	return s.SoftmaxCE(logits, label, weight)
 }
 
 // Adam is the Adam optimizer.
@@ -272,8 +532,25 @@ func (a *Adam) Step(params []Param, scale float64) {
 // ZeroGrads clears accumulated gradients without an update.
 func ZeroGrads(params []Param) {
 	for _, p := range params {
-		for j := range p.G {
-			p.G[j] = 0
+		clear(p.G)
+	}
+}
+
+// AccumulateGrads adds src's gradient accumulators into dst's, pairwise.
+// Parameter lists must be congruent (same layout), as produced by Replica.
+// The addition order is fixed by the parameter layout, so a reduction built
+// from AccumulateGrads calls in a deterministic sequence is bit-reproducible.
+func AccumulateGrads(dst, src []Param) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: accumulate %d params into %d", len(src), len(dst)))
+	}
+	for i := range dst {
+		dg, sg := dst[i].G, src[i].G
+		if len(dg) != len(sg) {
+			panic(fmt.Sprintf("nn: param %d size mismatch: %d vs %d", i, len(dg), len(sg)))
+		}
+		for j := range dg {
+			dg[j] += sg[j]
 		}
 	}
 }

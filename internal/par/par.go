@@ -46,7 +46,17 @@ func call(i int, worker func(i int) error) (err error) {
 // worker panics, the remaining indices still run, and Map re-panics on the
 // caller's goroutine with the first failing index and its stack attached.
 func Map(n int, worker func(i int)) {
-	err := MapE(n, func(i int) error {
+	MapN(n, Workers(), worker)
+}
+
+// MapN is Map with an explicit concurrency limit: at most limit workers run
+// at once (limit <= 1 runs every index on the calling goroutine, in order).
+// Callers that need reproducible work placement — like the data-parallel
+// trainer, which pins gradient shards to fixed index ranges — use MapN so
+// the fan-out width is a configuration input rather than a property of the
+// host machine.
+func MapN(n, limit int, worker func(i int)) {
+	err := mapBounded(n, limit, func(i int) error {
 		worker(i)
 		return nil
 	})
@@ -65,11 +75,15 @@ func Map(n int, worker func(i int)) {
 // otherwise an error joining each failure in index order; panics surface as
 // *PanicError values (match with errors.As) carrying the failing index.
 func MapE(n int, worker func(i int) error) error {
+	return mapBounded(n, Workers(), worker)
+}
+
+// mapBounded is the shared fan-out core behind Map, MapN, and MapE.
+func mapBounded(n, limit int, worker func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	limit := Workers()
 	if limit > n {
 		limit = n
 	}

@@ -75,6 +75,10 @@ type Engine struct {
 	stopped bool
 	// executed counts events that have run; useful for progress assertions.
 	executed uint64
+	// free recycles executed event structs: the steady-state hot loop
+	// allocates no event objects, only the closures callers schedule. The
+	// list grows to the peak queue depth and is never trimmed.
+	free []*event
 
 	// Observability handles; nil (one branch per event) unless Instrument
 	// attached a sink.
@@ -124,7 +128,15 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	heap.Push(&e.events, ev)
 	e.cScheduled.Inc()
 	e.gQueueMax.Max(float64(len(e.events)))
 }
@@ -138,7 +150,12 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.executed++
 	e.cEvents.Inc()
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running fn: the event is off the heap, so a callback
+	// that schedules may reuse it immediately.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

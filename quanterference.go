@@ -34,6 +34,18 @@
 // entry points, kept as thin wrappers for existing callers; new code should
 // use the error-returning RunE/CollectDatasetE/TrainFrameworkE.
 //
+// # Determinism
+//
+// Everything here is reproducible by construction. A simulation is one
+// single-threaded discrete-event engine with (time, sequence)-ordered
+// dispatch and seeded RNGs: the same Scenario and seed produce
+// byte-identical traces and metrics on every run and every machine.
+// Training is deterministic too, including the data-parallel path: the
+// trainer shards each mini-batch into a fixed partition and reduces
+// gradients in a fixed order, so trained weights are bit-identical for
+// every worker count. Both properties are regression-tested against
+// committed goldens; ARCHITECTURE.md states the exact contracts.
+//
 // The experiment drivers that regenerate every table and figure of the
 // paper are exposed as TableI, Figure1a/b, TableII, Figure3a/b, Figure4,
 // Figure5, and the Ablation* functions; cmd/figures wraps them all.
