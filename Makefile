@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,9 @@ tier1: build test
 # Sink is mutated from par.Map worker goroutines. The focused -count=1 race
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs).
-verify: docs-check
+verify: docs-check serve-smoke
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
@@ -36,6 +36,29 @@ docs-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/docscheck .
+
+# serve-smoke boots quantserve on a synthetic model, exercises /healthz and
+# /predict over real HTTP, and checks it exits cleanly on SIGTERM — an
+# end-to-end probe of the serving binary that needs no model file.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18123
+serve-smoke:
+	@mkdir -p out
+	$(GO) build -o out/quantserve ./cmd/quantserve
+	@./out/quantserve -smoke -addr $(SERVE_SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+		curl -sf http://$(SERVE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && { ok=1; break; }; \
+		sleep 0.1; done; \
+	[ $$ok = 1 ] || { echo "serve-smoke: server never came up"; exit 1; }; \
+	curl -sf http://$(SERVE_SMOKE_ADDR)/healthz | grep -q '"status":"ok"' || \
+		{ echo "serve-smoke: bad /healthz"; exit 1; }; \
+	curl -sf -X POST http://$(SERVE_SMOKE_ADDR)/predict \
+		-d '{"matrix":[[0,0,0,0,0],[0,0,0,0,0],[0,0,0,0,0]]}' | grep -q '"class"' || \
+		{ echo "serve-smoke: bad /predict"; exit 1; }; \
+	curl -sf http://$(SERVE_SMOKE_ADDR)/stats | grep -q 'serve/requests' || \
+		{ echo "serve-smoke: bad /stats"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean exit"; exit 1; }; \
+	trap - EXIT; echo "serve-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -239,7 +239,7 @@ func BenchmarkLustreWrite(b *testing.B) {
 // BenchmarkScenarioRun measures one full measurement run.
 func BenchmarkScenarioRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := quant.Run(quant.Scenario{
+		res, err := quant.RunE(quant.Scenario{
 			Target: quant.TargetSpec{
 				Gen: io500.New(io500.IorEasyWrite, io500.Params{
 					Dir: "/b", Ranks: 2, EasyFileBytes: 16 << 20}),
@@ -247,6 +247,9 @@ func BenchmarkScenarioRun(b *testing.B) {
 				Ranks: 2,
 			},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !res.Finished {
 			b.Fatal("run truncated")
 		}
@@ -357,6 +360,48 @@ func BenchmarkKernelModelPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(vecs)
+	}
+}
+
+// benchFramework assembles a serving framework directly (no training — the
+// weights' values don't matter for timing) plus a 32-window batch.
+func benchFramework() (*quant.Framework, []quant.WindowMatrix) {
+	ds := syntheticDataset(32)
+	fw := &quant.Framework{
+		Bins:   label.BinaryBins(),
+		Model:  ml.NewKernelModel(ml.KernelConfig{NTargets: 7, NFeat: 34, Classes: 2, Seed: 1}),
+		Scaler: dataset.FitScaler(ds),
+	}
+	mats := make([]quant.WindowMatrix, ds.Len())
+	for i := range mats {
+		mats[i] = ds.Samples[i].Vectors
+	}
+	return fw, mats
+}
+
+// BenchmarkFrameworkPredict measures 32 windows classified one Predict call
+// at a time — the pre-serving baseline an inference server would otherwise
+// pay per batch.
+func BenchmarkFrameworkPredict(b *testing.B) {
+	fw, mats := benchFramework()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mat := range mats {
+			fw.Predict(mat)
+		}
+	}
+}
+
+// BenchmarkFrameworkPredictBatch measures the same 32 windows through one
+// PredictBatch call — the serving hot path: amortized scratch, cache-free
+// nn.Infer, zero steady-state allocations. Compare ns/op against
+// BenchmarkFrameworkPredict for the batching speedup.
+func BenchmarkFrameworkPredictBatch(b *testing.B) {
+	fw, mats := benchFramework()
+	fw.PredictBatch(mats) // warm the scratch so steady state is measured
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.PredictBatch(mats)
 	}
 }
 

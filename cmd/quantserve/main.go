@@ -1,0 +1,132 @@
+// Command quantserve exposes a framework trained by `quanttrain -save` as a
+// concurrent HTTP inference service — the deployment shape of the paper's
+// Figure 2 runtime path. Concurrent /predict requests are transparently
+// batched through one deterministic PredictBatch call; answers are
+// bit-identical to standalone prediction regardless of batch composition.
+//
+// Usage:
+//
+//	quantserve -model fw.json -addr :8080
+//	curl -s localhost:8080/predict -d '{"matrix": [[...], ...]}'
+//
+// SIGHUP (or POST /admin/reload) hot-swaps the model file without dropping
+// in-flight requests; SIGINT/SIGTERM drain gracefully. -smoke trains a tiny
+// synthetic model in-process and serves it — used by `make serve-smoke`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
+	"quanterference/internal/serve"
+	"quanterference/internal/sim"
+)
+
+var (
+	model       = flag.String("model", "framework.json", "framework file from quanttrain -save")
+	addr        = flag.String("addr", ":8080", "listen address")
+	maxBatch    = flag.Int("max-batch", 32, "max predictions per batch")
+	batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long to gather a batch")
+	maxInflight = flag.Int("max-inflight", 256, "queue bound before requests are shed with 503")
+	smoke       = flag.Bool("smoke", false, "serve a tiny synthetic model (ignores -model; for smoke tests)")
+)
+
+func main() {
+	flag.Parse()
+
+	var (
+		fw  *core.Framework
+		err error
+	)
+	if *smoke {
+		fw, err = smokeFramework()
+	} else {
+		fw, err = core.LoadFramework(*model)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	s := serve.New(fw, serve.Config{
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		MaxInflight: *maxInflight,
+		ModelPath:   *model,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := s.Reload(""); err != nil {
+				fmt.Fprintln(os.Stderr, "quantserve: reload:", err)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "quantserve: reloaded", *model)
+		}
+	}()
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-term
+		fmt.Fprintln(os.Stderr, "quantserve: draining...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Stop accepting connections first, then drain the batcher.
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "quantserve: http shutdown:", err)
+		}
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "quantserve: batcher shutdown:", err)
+		}
+	}()
+
+	nT, nF := fw.Dims()
+	fmt.Fprintf(os.Stderr, "quantserve: serving %d-target x %d-feature model (%d classes) on %s\n",
+		nT, nF, fw.Classes(), *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+// smokeFramework trains a minimal synthetic framework so the serving path
+// can be exercised end to end without a model file or a simulator run.
+func smokeFramework() (*core.Framework, error) {
+	const nTargets, nFeat = 3, 5
+	names := make([]string, nFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, nTargets, 2)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 64; i++ {
+		vecs := make([][]float64, nTargets)
+		for t := range vecs {
+			v := make([]float64, nFeat)
+			for f := range v {
+				v[f] = rng.NormFloat64() + float64(i%2)
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{Label: i % 2, Degradation: 1, Vectors: vecs})
+	}
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: 1, Train: ml.TrainConfig{Epochs: 5}})
+	return fw, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quantserve:", err)
+	os.Exit(1)
+}

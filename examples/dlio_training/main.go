@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	quant "quanterference"
 	"quanterference/internal/experiments"
@@ -23,7 +24,7 @@ func main() {
 		ds.Len(), counts[0], counts[1])
 
 	fmt.Println("training the kernel-based model (80/20 split)...")
-	_, confusion := quant.TrainFramework(ds, quant.FrameworkConfig{
+	_, confusion, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{
 		Seed: 21,
 		Train: ml.TrainConfig{
 			Epochs: 60,
@@ -34,6 +35,9 @@ func main() {
 			},
 		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println()
 	fmt.Print(confusion.Render([]string{"<2x", ">=2x"}))

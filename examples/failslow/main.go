@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	quant "quanterference"
 	"quanterference/internal/experiments"
@@ -22,7 +23,10 @@ func main() {
 	// Train on interference only.
 	fmt.Println("training on cross-application interference data...")
 	ds := experiments.IO500Dataset(experiments.DatasetConfig{Scale: 0.5, Seed: 31, Reps: 2})
-	fw, cm := quant.TrainFramework(ds, quant.FrameworkConfig{Seed: 31})
+	fw, cm, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset %d windows; held-out accuracy %.2f\n\n", ds.Len(), cm.Accuracy())
 
 	// A quiet cluster: one writer, zero interference.

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	quant "quanterference"
 	"quanterference/internal/sim"
@@ -72,5 +73,9 @@ func run(row entry, noise *entry) sim.Time {
 			})
 		}
 	}
-	return quant.Run(s).Duration
+	res, err := quant.RunE(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Duration
 }

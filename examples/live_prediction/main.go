@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	quant "quanterference"
 	"quanterference/internal/experiments"
@@ -24,7 +25,10 @@ func main() {
 		Scale: 1, Seed: 11, Reps: 2,
 	})
 	fmt.Printf("dataset: %d windows, balance %v\n", ds.Len(), ds.ClassCounts())
-	fw, confusion := quant.TrainFramework(ds, quant.FrameworkConfig{Seed: 11})
+	fw, confusion, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("offline test accuracy: %.2f\n\n", confusion.Accuracy())
 
 	// Online phase: fresh cluster, live monitors, per-window prediction.

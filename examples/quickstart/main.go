@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	quant "quanterference"
 	"quanterference/internal/core"
@@ -23,7 +24,10 @@ func main() {
 	}
 
 	// 1. How long does it run alone vs against three competing readers?
-	base := quant.Run(quant.Scenario{Target: target})
+	base, err := quant.RunE(quant.Scenario{Target: target})
+	if err != nil {
+		log.Fatal(err)
+	}
 	interference := []quant.InterferenceSpec{}
 	for i := 0; i < 3; i++ {
 		interference = append(interference, quant.InterferenceSpec{
@@ -34,7 +38,10 @@ func main() {
 			Ranks: 6,
 		})
 	}
-	contended := quant.Run(quant.Scenario{Target: target, Interference: interference})
+	contended, err := quant.RunE(quant.Scenario{Target: target, Interference: interference})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("standalone: %.2fs   under interference: %.2fs   slowdown: %.1fx\n",
 		sim.ToSeconds(base.Duration), sim.ToSeconds(contended.Duration),
 		float64(contended.Duration)/float64(base.Duration))
@@ -55,13 +62,19 @@ func main() {
 		}
 		variants = append(variants, v)
 	}
-	ds := quant.CollectDataset(quant.Scenario{Target: target}, variants,
+	ds, err := quant.CollectDatasetE(quant.Scenario{Target: target}, variants,
 		quant.CollectorConfig{IncludeBaseline: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset: %d labelled windows, class balance %v\n",
 		ds.Len(), ds.ClassCounts())
 
 	// 3. Train the kernel-based model (80/20 split) and inspect accuracy.
-	fw, confusion := quant.TrainFramework(ds, quant.FrameworkConfig{Seed: 7})
+	fw, confusion, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("held-out accuracy: %.2f\n", confusion.Accuracy())
 
 	// 4. Classify a window the model has never seen.

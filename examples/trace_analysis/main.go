@@ -35,8 +35,11 @@ func main() {
 	}
 
 	// 1. Baseline and interfered runs, each dumped as a trace log.
-	basePath := writeTrace(filepath.Join(dir, "baseline.dxt"),
-		quant.Run(quant.Scenario{Target: target}).Records)
+	baseRes, err := quant.RunE(quant.Scenario{Target: target})
+	if err != nil {
+		fail(err)
+	}
+	basePath := writeTrace(filepath.Join(dir, "baseline.dxt"), baseRes.Records)
 	var interference []quant.InterferenceSpec
 	for i := 0; i < 3; i++ {
 		interference = append(interference, quant.InterferenceSpec{
@@ -47,8 +50,11 @@ func main() {
 			Ranks: 6,
 		})
 	}
-	contPath := writeTrace(filepath.Join(dir, "contended.dxt"),
-		quant.Run(quant.Scenario{Target: target, Interference: interference}).Records)
+	contRes, err := quant.RunE(quant.Scenario{Target: target, Interference: interference})
+	if err != nil {
+		fail(err)
+	}
+	contPath := writeTrace(filepath.Join(dir, "contended.dxt"), contRes.Records)
 
 	// 2. Reload the logs — this is where a real deployment would pick up,
 	// with traces gathered on different days.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,21 +71,6 @@ type CollectReport struct {
 	Skipped []SkippedVariant
 }
 
-// CollectDataset runs the scenario's target once without interference (the
-// baseline), then once per variant, labels every window by the average
-// per-op iotime ratio against the baseline, and assembles the dataset.
-//
-// Deprecated for new code: CollectDataset panics when the baseline does not
-// finish or the scenario is invalid; prefer CollectDatasetE, which returns
-// typed errors (ErrBaselineUnfinished, ErrInvalidScenario).
-func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dataset.Dataset {
-	ds, err := CollectDatasetE(base, variants, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return ds
-}
-
 // CollectDatasetE implements §III-D data generation with error reporting:
 // an unfinished baseline returns ErrBaselineUnfinished (wrapped), invalid
 // scenarios return ErrInvalidScenario/ErrInvalidTopology. Options override
@@ -98,13 +84,23 @@ func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dat
 // WithCollectReport report instead of aborting the collection. Only when
 // every variant fails does CollectDatasetE return ErrAllVariantsFailed.
 func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*dataset.Dataset, error) {
+	return CollectDatasetCtx(context.Background(), base, variants, cfg, opts...)
+}
+
+// CollectDatasetCtx is CollectDatasetE with cancellation: the baseline run,
+// and every variant run in the par.MapE fan-out, observe ctx at window
+// boundaries. When the context is done the collection stops and returns an
+// error wrapping both ErrCanceled and ctx.Err() — cancellation is reported
+// as such, never disguised as ErrAllVariantsFailed. An uncancelled
+// CollectDatasetCtx is identical to CollectDatasetE.
+func CollectDatasetCtx(ctx context.Context, base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*dataset.Dataset, error) {
 	o := applyOptions(opts)
 	o.applyCollector(&cfg)
 	cfg.applyDefaults()
 	base.applyDefaults()
 	base.Interference = nil
 
-	baseRes, err := RunE(base, opts...)
+	baseRes, err := RunCtx(ctx, base, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +158,13 @@ func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opt
 	perVariant := make([][]*dataset.Sample, len(variants))
 	errs := make([]error, len(variants))
 	joined := par.MapE(len(variants), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return err
+		}
 		run := base
 		run.Interference = variants[i].Interference
-		res, err := RunE(run, opts...)
+		res, err := RunCtx(ctx, run, opts...)
 		if err != nil {
 			errs[i] = err
 			return err
@@ -199,6 +199,9 @@ func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opt
 	}
 	if o.report != nil {
 		*o.report = report
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w during variant collection: %w", ErrCanceled, err)
 	}
 	if len(variants) > 0 && report.Completed == 0 {
 		return nil, fmt.Errorf("%w: %d/%d skipped; first: variant %d (%s): %v",

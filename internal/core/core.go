@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"quanterference/internal/fault"
@@ -219,24 +220,22 @@ type RunResult struct {
 	Stats *obs.Snapshot
 }
 
-// Run executes a scenario on a fresh cluster.
-//
-// Deprecated for new code: Run panics on invalid scenarios; prefer RunE,
-// which returns typed errors (ErrInvalidScenario, ErrInvalidTopology).
-func Run(s Scenario) *RunResult {
-	res, err := RunE(s)
-	if err != nil {
-		panic(err)
-	}
-	return res
-}
-
 // RunE executes a scenario on a fresh cluster. It validates the scenario up
 // front, returning an error wrapping ErrInvalidScenario or
 // ErrInvalidTopology instead of panicking mid-run. The cluster is
 // instrumented on the WithSink option's sink, or on a private one, so
 // RunResult.Stats is always populated.
 func RunE(s Scenario, opts ...Option) (*RunResult, error) {
+	return RunCtx(context.Background(), s, opts...)
+}
+
+// RunCtx is RunE with cancellation: the simulation loop checks ctx at every
+// window boundary and, when the context is done, abandons the run and
+// returns an error wrapping both ErrCanceled and ctx.Err(). Simulated time
+// is unrelated to wall time — a context deadline bounds how long the caller
+// waits, not how long the simulated scenario lasts. An uncancelled RunCtx is
+// identical to RunE.
+func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error) {
 	o := applyOptions(opts)
 	s.applyDefaults()
 	if err := s.validate(); err != nil {
@@ -298,6 +297,9 @@ func RunE(s Scenario, opts ...Option) (*RunResult, error) {
 	// Run to the window boundary after the target completes, so the last
 	// window's server metrics are finalized.
 	for cl.Eng.Now() < s.MaxTime {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w at simulated t=%v: %w", ErrCanceled, cl.Eng.Now(), err)
+		}
 		cl.Eng.RunUntil(cl.Eng.Now() + s.WindowSize)
 		if res.Finished {
 			// One more boundary to finalize the final window.

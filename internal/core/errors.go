@@ -37,4 +37,10 @@ var (
 	// ErrBadFrameworkFile reports a framework file that is not in this
 	// build's persistence format (wrong format tag or version).
 	ErrBadFrameworkFile = errors.New("core: unrecognized framework file")
+
+	// ErrCanceled reports that a context-aware entry point (RunCtx,
+	// CollectDatasetCtx, TrainFrameworkCtx) stopped because its context was
+	// done. The returned error wraps both ErrCanceled and the context's own
+	// error, so errors.Is matches either (including context.DeadlineExceeded).
+	ErrCanceled = errors.New("core: operation canceled")
 )

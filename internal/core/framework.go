@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"quanterference/internal/dataset"
@@ -14,10 +15,16 @@ import (
 )
 
 // Framework is the trained prediction service: model + scaler + bins.
+//
+// Predict and PredictBatch reuse per-framework scratch, so a Framework must
+// not serve predictions from multiple goroutines at once; the serving layer
+// (internal/serve) funnels all inference through one batcher goroutine.
 type Framework struct {
 	Bins   label.Bins
 	Model  ml.Model
 	Scaler *dataset.Scaler
+
+	batch batchScratch // PredictBatch's amortized buffers
 }
 
 // FrameworkConfig controls training.
@@ -33,24 +40,16 @@ type FrameworkConfig struct {
 	Seed     int64
 }
 
-// TrainFramework splits the dataset 80/20, standardizes on the training
+// TrainFrameworkE splits the dataset 80/20, standardizes on the training
 // portion, trains the model, and returns the framework plus the test-set
-// confusion matrix (the paper's Figures 3-5).
-//
-// Deprecated for new code: TrainFramework panics on empty datasets and bad
-// configs; prefer TrainFrameworkE, which returns typed errors.
-func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.Confusion) {
-	fw, cm, err := TrainFrameworkE(ds, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return fw, cm
+// confusion matrix (the paper's Figures 3-5). It validates its inputs — a
+// nil or empty dataset returns ErrEmptyDataset (wrapped), a TestFrac outside
+// [0, 1) is rejected. WithBins overrides cfg.Bins.
+func TrainFrameworkE(ds *dataset.Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *ml.Confusion, error) {
+	return trainFramework(context.Background(), ds, cfg, opts)
 }
 
-// TrainFrameworkE validates its inputs — a nil or empty dataset returns
-// ErrEmptyDataset (wrapped), a TestFrac outside [0, 1) is rejected — then
-// trains exactly as TrainFramework. WithBins overrides cfg.Bins.
-func TrainFrameworkE(ds *dataset.Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *ml.Confusion, error) {
+func trainFramework(ctx context.Context, ds *dataset.Dataset, cfg FrameworkConfig, opts []Option) (*Framework, *ml.Confusion, error) {
 	o := applyOptions(opts)
 	if o.bins != nil {
 		cfg.Bins = *o.bins
@@ -91,10 +90,20 @@ func TrainFrameworkE(ds *dataset.Dataset, cfg FrameworkConfig, opts ...Option) (
 		})
 	}
 	cfg.Train.BalanceClasses = true
-	ml.Train(model, train, cfg.Train)
+	if _, err := ml.TrainCtx(ctx, model, train, cfg.Train); err != nil {
+		return nil, nil, fmt.Errorf("%w: training stopped: %w", ErrCanceled, err)
+	}
 
 	fw := &Framework{Bins: cfg.Bins, Model: model, Scaler: scaler}
 	return fw, ml.Evaluate(model, test), nil
+}
+
+// TrainFrameworkCtx is TrainFrameworkE with cancellation: the training epoch
+// loop observes ctx and, when it is done, returns an error wrapping both
+// ErrCanceled and ctx.Err(). An uncancelled TrainFrameworkCtx is bit-identical
+// to TrainFrameworkE; the *E form delegates here with context.Background().
+func TrainFrameworkCtx(ctx context.Context, ds *dataset.Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *ml.Confusion, error) {
+	return trainFramework(ctx, ds, cfg, opts)
 }
 
 // Predict classifies one raw (unscaled) window matrix.
@@ -115,6 +124,92 @@ func (f *Framework) Predict(mat window.Matrix) (class int, probs []float64) {
 		}
 	}
 	return class, probs
+}
+
+// batchScratch holds PredictBatch's reusable buffers: scaled input rows, the
+// class slice, and the probability rows, all grown on demand and recycled
+// across calls so steady-state batched inference allocates nothing.
+type batchScratch struct {
+	scaled [][]float64 // per-target scaled rows, reused in place
+	cls    []int
+	probs  [][]float64
+	pback  []float64 // flat backing for probs rows
+}
+
+// PredictBatch classifies a batch of raw window matrices in one call,
+// amortizing scaling and softmax scratch across the batch and using the
+// model's cache-free inference path (ml.BatchPredictor) when available. Per
+// input, the class and probability bits are identical to calling Predict in
+// a loop — batching is purely a throughput optimization, so a server may
+// group concurrent requests arbitrarily without changing any answer.
+//
+// The returned slices (and the probability rows) are owned by the Framework
+// and valid until its next PredictBatch call; callers that retain results
+// must copy them. Like Predict, PredictBatch must not be called from
+// multiple goroutines concurrently.
+func (f *Framework) PredictBatch(mats []window.Matrix) ([]int, [][]float64) {
+	classes := f.Classes()
+	b := &f.batch
+	if cap(b.cls) < len(mats) {
+		b.cls = make([]int, len(mats))
+		b.probs = make([][]float64, len(mats))
+		b.pback = make([]float64, len(mats)*classes)
+	}
+	cls := b.cls[:len(mats)]
+	probs := b.probs[:len(mats)]
+	bp, _ := f.Model.(ml.BatchPredictor)
+	for m, mat := range mats {
+		// Scale into reused rows with exactly Predict's arithmetic.
+		if cap(b.scaled) < len(mat) {
+			b.scaled = append(b.scaled, make([][]float64, len(mat)-cap(b.scaled))...)
+		}
+		scaled := b.scaled[:len(mat)]
+		for t, vec := range mat {
+			if cap(scaled[t]) < len(vec) {
+				scaled[t] = make([]float64, len(vec))
+			}
+			v := scaled[t][:len(vec)]
+			for i := range vec {
+				v[i] = (vec[i] - f.Scaler.Mean[i]) / f.Scaler.Std[i]
+			}
+			scaled[t] = v
+		}
+		dst := b.pback[m*classes : (m+1)*classes]
+		if bp != nil {
+			bp.ProbsInto(dst, scaled)
+		} else {
+			copy(dst, f.Model.Probs(scaled))
+		}
+		probs[m] = dst
+		// Same argmax tie-breaking as Predict.
+		class := 0
+		for i := range dst {
+			if dst[i] > dst[class] {
+				class = i
+			}
+		}
+		cls[m] = class
+	}
+	return cls, probs
+}
+
+// Classes returns the model's class count (falling back to the bins when the
+// model type is unknown to ml.Dims).
+func (f *Framework) Classes() int {
+	if _, _, cls, ok := ml.Dims(f.Model); ok {
+		return cls
+	}
+	return f.Bins.Classes()
+}
+
+// Dims reports the input shape Predict expects: nTargets per-server rows of
+// nFeat features each. nTargets is 0 when the model type is unknown to
+// ml.Dims (any row count is then accepted).
+func (f *Framework) Dims() (nTargets, nFeat int) {
+	if nT, nF, _, ok := ml.Dims(f.Model); ok {
+		return nT, nF
+	}
+	return 0, len(f.Scaler.Mean)
 }
 
 // LiveMonitor attaches the two monitors to a running cluster and emits a

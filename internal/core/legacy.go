@@ -1,0 +1,52 @@
+package core
+
+import (
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
+)
+
+// This file holds the original panic-on-error entry points, kept for
+// backward compatibility. New code should use the error-returning forms
+// (RunE, CollectDatasetE, TrainFrameworkE) or, when cancellation matters,
+// the context-aware forms (RunCtx, CollectDatasetCtx, TrainFrameworkCtx).
+
+// Run simulates a scenario and panics on any scenario or topology error.
+//
+// Deprecated: use RunE, which returns typed errors (ErrInvalidScenario,
+// ErrInvalidTopology) instead of panicking, or RunCtx for cancellation.
+func Run(s Scenario, opts ...Option) *RunResult {
+	res, err := RunE(s, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// CollectDataset runs the scenario's target once without interference (the
+// baseline), then once per variant, labels every window by the average
+// per-op iotime ratio against the baseline, and assembles the dataset.
+//
+// Deprecated: use CollectDatasetE, which returns typed errors
+// (ErrBaselineUnfinished, ErrInvalidScenario, ErrAllVariantsFailed) instead
+// of panicking, or CollectDatasetCtx for cancellation.
+func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dataset.Dataset {
+	ds, err := CollectDatasetE(base, variants, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// TrainFramework trains the prediction framework and panics when the dataset
+// is empty or the config is invalid.
+//
+// Deprecated: use TrainFrameworkE, which returns typed errors
+// (ErrEmptyDataset) instead of panicking, or TrainFrameworkCtx for
+// cancellation.
+func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.Confusion) {
+	fw, conf, err := TrainFrameworkE(ds, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fw, conf
+}

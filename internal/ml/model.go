@@ -27,6 +27,33 @@ type Model interface {
 	Params() []nn.Param
 }
 
+// BatchPredictor is a Model with an allocation-free inference path for the
+// serving hot loop: ProbsInto writes one window's class distribution into
+// dst without touching the training caches, producing bits identical to
+// Probs. KernelModel and FlatModel implement it via nn's Infer path;
+// Framework.PredictBatch falls back to Probs for models that do not.
+type BatchPredictor interface {
+	Model
+	// ProbsInto writes the class distribution for vectors into dst (length
+	// must equal the class count) and returns dst.
+	ProbsInto(dst []float64, vectors [][]float64) []float64
+}
+
+// Dims reports a model's input/output shape — what a serving layer needs to
+// validate requests before they reach the model's panicking check. ok is
+// false for model types this package does not know.
+func Dims(m Model) (nTargets, nFeat, classes int, ok bool) {
+	switch t := m.(type) {
+	case *KernelModel:
+		return t.nTargets, t.nFeat, t.classes, true
+	case *FlatModel:
+		return t.nTargets, t.nFeat, t.classes, true
+	case *AttentionModel:
+		return t.nTargets, t.nFeat, t.classes, true
+	}
+	return 0, 0, 0, false
+}
+
 // Replicable is a Model that can produce weight-sharing replicas for
 // data-parallel training (TrainConfig.Workers): a replica shares the
 // original's weight slices but owns private gradient accumulators and
@@ -154,6 +181,17 @@ func (m *KernelModel) Predict(vectors [][]float64) int {
 	return argmax(nn.SoftmaxInto(m.probsBuf, logits))
 }
 
+// ProbsInto implements BatchPredictor on nn's Infer path: no caches are
+// pushed, so no drain pass is needed — about half the work of Probs for the
+// same bits.
+func (m *KernelModel) ProbsInto(dst []float64, vectors [][]float64) []float64 {
+	m.check(vectors)
+	for t, v := range vectors {
+		m.z[t] = m.Kernel.Infer(v)[0]
+	}
+	return nn.SoftmaxInto(dst, m.Head.Infer(m.z))
+}
+
 // LossAndGrad implements Model.
 func (m *KernelModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
 	logits := m.forward(vectors)
@@ -239,6 +277,11 @@ func (m *FlatModel) Predict(vectors [][]float64) int {
 	return argmax(nn.SoftmaxInto(m.probsBuf, logits))
 }
 
+// ProbsInto implements BatchPredictor; see KernelModel.ProbsInto.
+func (m *FlatModel) ProbsInto(dst []float64, vectors [][]float64) []float64 {
+	return nn.SoftmaxInto(dst, m.Net.Infer(m.flatten(vectors)))
+}
+
 // LossAndGrad implements Model.
 func (m *FlatModel) LossAndGrad(vectors [][]float64, label int, weight float64) float64 {
 	logits := m.Net.Forward(m.flatten(vectors))
@@ -262,3 +305,5 @@ func argmax(xs []float64) int {
 
 var _ Replicable = (*KernelModel)(nil)
 var _ Replicable = (*FlatModel)(nil)
+var _ BatchPredictor = (*KernelModel)(nil)
+var _ BatchPredictor = (*FlatModel)(nil)

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -79,6 +80,17 @@ func classWeights(train *dataset.Dataset, balance bool) []float64 {
 // the exact contract. Both paths consume the same RNG stream, so they see
 // identical shuffles; they differ only in gradient summation order.
 func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
+	loss, _ := TrainCtx(context.Background(), m, train, cfg)
+	return loss
+}
+
+// TrainCtx is Train with cancellation: the epoch loop (on both the serial
+// and the data-parallel path) checks ctx before each epoch and returns
+// ctx.Err() with the loss so far when the context is done. Epochs that ran
+// are exactly the epochs Train would have run — cancellation never perturbs
+// the RNG stream or the gradient arithmetic, so an uncancelled TrainCtx is
+// bit-identical to Train.
+func TrainCtx(ctx context.Context, m Model, train *dataset.Dataset, cfg TrainConfig) (float64, error) {
 	cfg.applyDefaults()
 	if train.Len() == 0 {
 		panic("ml: empty training set")
@@ -86,13 +98,16 @@ func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
 	weights := classWeights(train, cfg.BalanceClasses)
 	if cfg.Workers >= 1 {
 		if r, ok := m.(Replicable); ok {
-			return trainSharded(r, train, cfg, weights)
+			return trainSharded(ctx, r, train, cfg, weights)
 		}
 	}
 	opt := nn.NewAdam(cfg.LR)
 	rng := sim.NewRNG(cfg.Seed ^ 0x7a11)
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, err
+		}
 		perm := rng.Perm(train.Len())
 		var epochLoss float64
 		for start := 0; start < len(perm); start += cfg.Batch {
@@ -111,7 +126,7 @@ func Train(m Model, train *dataset.Dataset, cfg TrainConfig) float64 {
 			cfg.OnEpoch(epoch, lastLoss)
 		}
 	}
-	return lastLoss
+	return lastLoss, nil
 }
 
 // shardBounds splits n samples into ns shards by ceiling division and
@@ -134,7 +149,7 @@ func shardBounds(n, ns, s int) (int, int) {
 // gradients and losses. All floating-point summation orders are functions
 // of the batch length alone, so weights are bit-identical for any
 // cfg.Workers >= 1.
-func trainSharded(m Replicable, train *dataset.Dataset, cfg TrainConfig, weights []float64) float64 {
+func trainSharded(ctx context.Context, m Replicable, train *dataset.Dataset, cfg TrainConfig, weights []float64) (float64, error) {
 	opt := nn.NewAdam(cfg.LR)
 	rng := sim.NewRNG(cfg.Seed ^ 0x7a11)
 	mainParams := m.Params()
@@ -147,6 +162,9 @@ func trainSharded(m Replicable, train *dataset.Dataset, cfg TrainConfig, weights
 	losses := make([]float64, gradShards)
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return lastLoss, err
+		}
 		perm := rng.Perm(train.Len())
 		var epochLoss float64
 		for start := 0; start < len(perm); start += cfg.Batch {
@@ -189,7 +207,7 @@ func trainSharded(m Replicable, train *dataset.Dataset, cfg TrainConfig, weights
 			cfg.OnEpoch(epoch, lastLoss)
 		}
 	}
-	return lastLoss
+	return lastLoss, nil
 }
 
 // Confusion is a square confusion matrix: M[true][pred].

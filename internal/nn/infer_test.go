@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"quanterference/internal/sim"
+)
+
+// TestInferMatchesForward asserts the bit-identity contract: for any MLP,
+// Infer produces exactly Forward's output (same float bits), leaves no cached
+// state behind, and keeps working when interleaved with training passes.
+func TestInferMatchesForward(t *testing.T) {
+	rng := sim.NewRNG(7)
+	net := MLP(rng, 34, 32, 16, 1)
+	in := sim.NewRNG(8)
+	for iter := 0; iter < 50; iter++ {
+		x := make([]float64, 34)
+		for i := range x {
+			x[i] = in.NormFloat64()
+		}
+		want := append([]float64(nil), net.Forward(x)...)
+		net.BackwardNoDX([]float64{0}) // pop the forward cache
+		ZeroGrads(net.Params())
+		got := net.Infer(x)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: Infer len %d, Forward len %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("iter %d out %d: Infer %v != Forward %v (bits differ)",
+					iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInferLeavesNoCache verifies an Infer pass does not disturb the LIFO
+// forward-cache discipline: a Forward/Backward cycle after Infer behaves as
+// if the Infer never happened.
+func TestInferLeavesNoCache(t *testing.T) {
+	rng := sim.NewRNG(9)
+	net := MLP(rng, 4, 8, 2)
+	x := []float64{1, -2, 3, -4}
+	net.Infer(x)
+	// If Infer had pushed caches, this Forward/Backward pair would pop the
+	// wrong entry or leave a stale one behind, and the second cycle would
+	// panic or corrupt gradients.
+	for i := 0; i < 2; i++ {
+		net.Forward(x)
+		net.BackwardNoDX([]float64{1, 1})
+	}
+	ZeroGrads(net.Params())
+	// A lone Backward now must panic (empty cache) — proving Infer cached
+	// nothing.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after Infer-only pass did not panic; Infer left cached state")
+		}
+	}()
+	net.Backward([]float64{1, 1})
+}
+
+// TestDenseInferBufferReuse pins the allocation contract: after the first
+// call, Infer allocates nothing and returns the same backing buffer.
+func TestDenseInferBufferReuse(t *testing.T) {
+	d := NewDense(3, 5, sim.NewRNG(3))
+	x := []float64{1, 2, 3}
+	a := d.Infer(x)
+	b := d.Infer(x)
+	if &a[0] != &b[0] {
+		t.Fatal("Infer reallocated its output buffer")
+	}
+	allocs := testing.AllocsPerRun(100, func() { d.Infer(x) })
+	if allocs != 0 {
+		t.Fatalf("Infer allocates %v per call, want 0", allocs)
+	}
+}

@@ -113,9 +113,10 @@ type Dense struct {
 	W, B    []float64
 	GW, GB  []float64
 
-	inputs [][]float64 // forward cache stack
-	outs   bufPool     // forward output buffers, by stack depth
-	dxs    bufPool     // backward input-gradient buffers, by stack depth
+	inputs   [][]float64 // forward cache stack
+	outs     bufPool     // forward output buffers, by stack depth
+	dxs      bufPool     // backward input-gradient buffers, by stack depth
+	inferOut []float64   // Infer's output buffer (no cache stack)
 }
 
 // NewDense creates a dense layer with He-normal initialization.
@@ -153,6 +154,29 @@ func (d *Dense) Forward(x []float64) []float64 {
 	}
 	y := d.outs.get(len(d.inputs), d.Out)
 	d.inputs = append(d.inputs, x)
+	d.apply(x, y)
+	return y
+}
+
+// Infer computes exactly Forward's output but caches nothing, so no Backward
+// pass is needed to pop state afterwards — that halves the cost of an
+// inference-only evaluation. Both paths funnel through the same apply kernel,
+// so their outputs are bit-identical. The returned slice is the layer's
+// dedicated inference buffer, valid until its next Infer call.
+func (d *Dense) Infer(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, len(x)))
+	}
+	if cap(d.inferOut) < d.Out {
+		d.inferOut = make([]float64, d.Out)
+	}
+	y := d.inferOut[:d.Out]
+	d.apply(x, y)
+	return y
+}
+
+// apply writes Wx + b into y (shared by Forward and Infer).
+func (d *Dense) apply(x, y []float64) {
 	n := d.In
 	x = x[:n] // pin the length so the inner loops need no bounds checks
 	// Four output rows at a time: each accumulator still sums its products
@@ -185,7 +209,6 @@ func (d *Dense) Forward(x []float64) []float64 {
 		}
 		y[o] = s
 	}
-	return y
 }
 
 // Backward implements Layer. The returned slice is pooled; see the package
@@ -297,9 +320,10 @@ func (d *Dense) Params() []Param {
 type ReLU struct {
 	// cached forward outputs double as the mask: out[i] > 0 iff the unit
 	// was active.
-	cache [][]float64
-	outs  bufPool
-	dxs   bufPool
+	cache    [][]float64
+	outs     bufPool
+	dxs      bufPool
+	inferOut []float64 // Infer's output buffer (no cache stack)
 }
 
 // Replica returns a fresh ReLU (the activation has no weights to share).
@@ -317,6 +341,18 @@ func (r *ReLU) Forward(x []float64) []float64 {
 		y[i] = max(v, 0)
 	}
 	r.cache = append(r.cache, y)
+	return y
+}
+
+// Infer is Forward without the cache push; see Dense.Infer for the contract.
+func (r *ReLU) Infer(x []float64) []float64 {
+	if cap(r.inferOut) < len(x) {
+		r.inferOut = make([]float64, len(x))
+	}
+	y := r.inferOut[:len(x)]
+	for i, v := range x {
+		y[i] = max(v, 0) // same branchless clamp as Forward
+	}
 	return y
 }
 
@@ -382,6 +418,38 @@ func MLP(rng *sim.RNG, sizes ...int) *Sequential {
 func (s *Sequential) Forward(x []float64) []float64 {
 	for _, l := range s.Layers {
 		x = l.Forward(x)
+	}
+	return x
+}
+
+// Inferer is a layer with an inference-only evaluation path: Infer must
+// produce output bit-identical to Forward's without caching backward state.
+// Dense, ReLU, and Sequential implement it; custom layers may opt in.
+type Inferer interface {
+	Infer(x []float64) []float64
+}
+
+// Infer runs the stack without caching backward state — the inference hot
+// path of the online predictor. Outputs are bit-identical to Forward's (each
+// built-in layer shares one compute kernel between the two paths), but no
+// Backward/BackwardNoDX is needed afterwards, roughly halving the cost of an
+// inference-only evaluation. Every layer must be a Dense, ReLU, Sequential,
+// or Inferer; Infer panics otherwise. The returned slice is owned by the
+// final layer and valid until that layer's next Infer call.
+func (s *Sequential) Infer(x []float64) []float64 {
+	for _, l := range s.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			x = t.Infer(x)
+		case *ReLU:
+			x = t.Infer(x)
+		case *Sequential:
+			x = t.Infer(x)
+		case Inferer:
+			x = t.Infer(x)
+		default:
+			panic(fmt.Sprintf("nn: layer %T does not support Infer", l))
+		}
 	}
 	return x
 }

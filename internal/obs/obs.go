@@ -24,7 +24,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -182,6 +184,20 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // TimeBuckets are the default latency bounds in simulated nanoseconds:
 // 1 µs up to ~16 s in powers of four (13 bounds + overflow).
 func TimeBuckets() []float64 { return ExpBuckets(1e3, 4, 13) }
+
+// LinearBuckets returns n evenly spaced bounds: start, start+step, ...
+// Suited to small integer-valued distributions (batch sizes, queue depths)
+// where exponential spacing would collapse everything into two buckets.
+func LinearBuckets(start, step float64, n int) []float64 {
+	if n <= 0 || step <= 0 {
+		panic(fmt.Sprintf("obs: bad bucket spec start=%g step=%g n=%d", start, step, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
 
 // Sink is the metrics registry and trace collector. Obtain handles with
 // Counter/Gauge/Histogram at instrumentation time; re-registering the same
@@ -372,6 +388,49 @@ func (s *Snapshot) CounterTotal(component, name string) uint64 {
 		}
 	}
 	return total
+}
+
+// WriteJSON writes the snapshot as one indented JSON object with "counters"
+// and "gauges" maps keyed by the metric's component/instance/name string and
+// a "histograms" list carrying bounds, per-bucket counts (the final count is
+// the overflow bucket), totals, and the mean. Output is deterministic: maps
+// marshal key-sorted and histograms keep the snapshot's sorted order. This is
+// the wire format of the serving layer's /stats endpoint.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	type histJSON struct {
+		Key    string    `json:"key"`
+		Bounds []float64 `json:"bounds"`
+		Counts []uint64  `json:"counts"`
+		Count  uint64    `json:"count"`
+		Sum    float64   `json:"sum"`
+		Mean   float64   `json:"mean"`
+	}
+	out := struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms []histJSON         `json:"histograms"`
+	}{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: []histJSON{},
+	}
+	if s != nil {
+		for _, c := range s.Counters {
+			out.Counters[c.Key.String()] = c.Value
+		}
+		for _, g := range s.Gauges {
+			out.Gauges[g.Key.String()] = g.Value
+		}
+		for _, h := range s.Histograms {
+			out.Histograms = append(out.Histograms, histJSON{
+				Key: h.Key.String(), Bounds: h.Bounds, Counts: h.Counts,
+				Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Render formats the snapshot as an aligned table for terminal output.

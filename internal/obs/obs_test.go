@@ -224,3 +224,90 @@ func TestSnapshotHelpers(t *testing.T) {
 		t.Errorf("first counter = %s, want disk/d0/requests", snap.Counters[0].Key)
 	}
 }
+
+func TestLinearBuckets(t *testing.T) {
+	b := LinearBuckets(1, 1, 4)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", b, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { LinearBuckets(0, 1, 0) },
+		func() { LinearBuckets(0, 0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad bucket spec did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestSnapshotWriteJSON pins /stats' wire format: key-sorted maps for
+// counters and gauges, histogram objects with bounds/counts/mean, and a
+// valid empty document for a nil snapshot.
+func TestSnapshotWriteJSON(t *testing.T) {
+	s := New()
+	s.Counter("serve", "", "requests").Add(7)
+	s.Gauge("serve", "", "inflight").Set(3)
+	h := s.Histogram("serve", "", "batch_size", LinearBuckets(1, 1, 4))
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9) // overflow
+
+	var buf bytes.Buffer
+	if err := s.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms []struct {
+			Key    string    `json:"key"`
+			Bounds []float64 `json:"bounds"`
+			Counts []uint64  `json:"counts"`
+			Count  uint64    `json:"count"`
+			Sum    float64   `json:"sum"`
+			Mean   float64   `json:"mean"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Counters["serve/requests"] != 7 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if doc.Gauges["serve/inflight"] != 3 {
+		t.Fatalf("gauges = %v", doc.Gauges)
+	}
+	if len(doc.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	hv := doc.Histograms[0]
+	if hv.Key != "serve/batch_size" || hv.Count != 3 || hv.Sum != 13 {
+		t.Fatalf("histogram = %+v", hv)
+	}
+	wantCounts := []uint64{1, 0, 1, 0, 1}
+	for i := range wantCounts {
+		if hv.Counts[i] != wantCounts[i] {
+			t.Fatalf("counts = %v, want %v", hv.Counts, wantCounts)
+		}
+	}
+	if hv.Mean != 13.0/3 {
+		t.Fatalf("mean = %v", hv.Mean)
+	}
+
+	buf.Reset()
+	var nilSnap *Snapshot
+	if err := nilSnap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"counters": {}`) {
+		t.Fatalf("nil snapshot JSON = %s", buf.String())
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import "time"
+
+// batcher is the single goroutine with the right to touch a Framework's
+// prediction scratch. It blocks for the first request, gathers more until
+// MaxBatch or BatchWindow, and answers the whole batch from one PredictBatch
+// call. On shutdown it drains whatever is still queued before exiting, so
+// every admitted request is answered.
+func (s *Server) batcher() {
+	defer close(s.done)
+	for {
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.drain()
+			return
+		}
+		batch := s.gather(first)
+		s.runBatch(batch)
+	}
+}
+
+// gather collects requests after the first until the batch is full, the
+// batch window elapses, or shutdown begins (which flushes immediately —
+// queued stragglers are answered by drain).
+func (s *Server) gather(first *request) []*request {
+	batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain answers everything still queued at shutdown, in full batches.
+func (s *Server) drain() {
+	for {
+		batch := make([]*request, 0, s.cfg.MaxBatch)
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case req := <-s.queue:
+				batch = append(batch, req)
+			default:
+				if len(batch) > 0 {
+					s.runBatch(batch)
+				}
+				return
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch classifies one gathered batch. The framework pointer is loaded
+// once per batch: a concurrent Reload affects only later batches, and each
+// Framework owns its own scratch, so the swap is race-free.
+func (s *Server) runBatch(batch []*request) {
+	fw := s.fw.Load()
+	mats := s.batchMats[:0]
+	for _, req := range batch {
+		mats = append(mats, req.mat)
+		s.hQueueNS.Observe(float64(time.Since(req.enq)))
+	}
+	s.batchMats = mats[:0]
+
+	start := time.Now()
+	cls, probs := fw.PredictBatch(mats)
+	s.hModelNS.Observe(float64(time.Since(start)))
+	s.mBatches.Inc()
+	s.hBatch.Observe(float64(len(batch)))
+
+	for i, req := range batch {
+		// Copy out: the framework reuses its probability rows on the next
+		// batch, but the caller's slice must stay valid indefinitely.
+		req.resp <- response{class: cls[i], probs: append([]float64(nil), probs[i]...)}
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"quanterference/internal/monitor/window"
+)
+
+// Client is a typed HTTP client for a quantserve instance, so tools
+// (cmd/quantpredict -server) can target a running service instead of
+// loading a framework file themselves.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets base (e.g. "http://localhost:8080"). A trailing slash
+// is tolerated.
+func NewClient(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Predict classifies one raw window matrix on the server.
+func (c *Client) Predict(ctx context.Context, mat window.Matrix) (*PredictResponse, error) {
+	var out PredictResponse
+	if err := c.post(ctx, "/predict", PredictRequest{Matrix: mat}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches liveness and the loaded model's shape.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.get(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reload asks the server to hot-swap its framework; an empty path reloads
+// the server's configured model file.
+func (c *Client) Reload(ctx context.Context, path string) error {
+	return c.post(ctx, "/admin/reload", reloadRequest{Path: path}, nil)
+}

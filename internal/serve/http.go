@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"quanterference/internal/monitor/window"
+)
+
+// PredictRequest is the /predict request body: one raw (unscaled) window
+// matrix, [targets][features], exactly what core.Framework.Predict takes.
+type PredictRequest struct {
+	Matrix [][]float64 `json:"matrix"`
+}
+
+// PredictResponse is the /predict response body.
+type PredictResponse struct {
+	// Class is the predicted degradation class.
+	Class int `json:"class"`
+	// Label is the class's human-readable bin name (e.g. ">=2x").
+	Label string `json:"label"`
+	// Probs is the class probability distribution.
+	Probs []float64 `json:"probs"`
+}
+
+// Health is the /healthz response body: liveness plus the loaded model's
+// shape, enough for a client to validate inputs and reconstruct label.Bins.
+type Health struct {
+	Status string `json:"status"`
+	// Targets and Features describe the expected matrix shape (Targets 0
+	// means any row count).
+	Targets  int `json:"targets"`
+	Features int `json:"features"`
+	Classes  int `json:"classes"`
+	// Thresholds are the degradation bin edges (label.Bins.Thresholds).
+	Thresholds []float64 `json:"thresholds"`
+}
+
+// reloadRequest optionally overrides the reload path.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /predict       {"matrix": [[...], ...]} -> PredictResponse
+//	GET  /healthz       -> Health
+//	GET  /stats         -> obs snapshot JSON (counters, batch histogram, latencies)
+//	POST /admin/reload  {"path": "..."} (optional body) -> {"reloaded": true}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	class, probs, err := s.Predict(r.Context(), window.Matrix(req.Matrix))
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBadInput):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShuttingDown):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	fw := s.fw.Load()
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Class: class, Label: fw.Bins.Name(class), Probs: probs,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fw := s.fw.Load()
+	nTargets, nFeat := fw.Dims()
+	writeJSON(w, http.StatusOK, Health{
+		Status:     "ok",
+		Targets:    nTargets,
+		Features:   nFeat,
+		Classes:    fw.Classes(),
+		Thresholds: fw.Bins.Thresholds,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.Stats().WriteJSON(w)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req reloadRequest
+	if r.Body != nil {
+		// An empty body means "reload the configured path".
+		_ = json.NewDecoder(r.Body).Decode(&req)
+	}
+	if err := s.Reload(req.Path); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"reloaded": true})
+}

@@ -1,0 +1,269 @@
+// Package serve is the online inference service around a trained
+// core.Framework — the deployment shape of the paper's Figure 2 runtime
+// path, where one prediction service answers window-classification queries
+// from many monitoring agents at once.
+//
+// Concurrency model: the Framework's Predict/PredictBatch reuse internal
+// scratch and are not goroutine-safe, so the server funnels every request
+// through a single batcher goroutine. Concurrent requests are gathered into
+// one PredictBatch call, bounded by MaxBatch (size) and BatchWindow
+// (latency). PredictBatch is bit-identical to per-input Predict, so batching
+// composition never changes an answer — a property the tests pin down under
+// -race with dozens of concurrent clients.
+//
+// Hot reload swaps an atomic framework pointer: in-flight batches keep the
+// framework they loaded (each Framework owns its own scratch), so a reload
+// never drops or corrupts a request. Shutdown closes an admission gate,
+// waits for in-flight requests to drain through the batcher, then stops it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quanterference/internal/core"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/obs"
+)
+
+// Sentinel errors returned by Server.Predict (and mapped to HTTP statuses by
+// the handler: 503, 503, 400 respectively). Match with errors.Is.
+var (
+	// ErrOverloaded reports that the request queue is full (backpressure);
+	// the client should retry with backoff.
+	ErrOverloaded = errors.New("serve: server overloaded")
+
+	// ErrShuttingDown reports that the server no longer admits requests.
+	ErrShuttingDown = errors.New("serve: server shutting down")
+
+	// ErrBadInput reports a window matrix whose shape does not match the
+	// loaded model.
+	ErrBadInput = errors.New("serve: bad input matrix")
+)
+
+// Config tunes the batching service. The zero value is usable: every field
+// defaults to the values quantserve ships with.
+type Config struct {
+	// MaxBatch caps how many requests one PredictBatch call carries
+	// (default 32).
+	MaxBatch int
+	// BatchWindow is how long the batcher waits for more requests after the
+	// first one arrives (default 2ms). Smaller trades throughput for
+	// latency.
+	BatchWindow time.Duration
+	// MaxInflight bounds the request queue; admissions beyond it fail fast
+	// with ErrOverloaded (default 256).
+	MaxInflight int
+	// ModelPath is the framework file Reload() re-reads. Optional; reloads
+	// may also name an explicit path.
+	ModelPath string
+	// Sink receives serving metrics (request/error/reload counters, the
+	// batch-size histogram, per-stage latency histograms). Nil allocates a
+	// private sink so Stats always works.
+	Sink *obs.Sink
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.Sink == nil {
+		c.Sink = obs.New()
+	}
+}
+
+// request is one enqueued prediction; resp is buffered so the batcher never
+// blocks on a caller that gave up (context cancellation).
+type request struct {
+	mat  window.Matrix
+	resp chan response
+	enq  time.Time
+}
+
+type response struct {
+	class int
+	probs []float64
+}
+
+// Server batches concurrent predictions through one framework. Create with
+// New, serve HTTP via Handler, stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	fw    atomic.Pointer[core.Framework]
+	queue chan *request
+
+	gateMu   sync.RWMutex
+	stopping bool
+	inflight sync.WaitGroup
+	stopOnce sync.Once
+	stop     chan struct{} // closed by Shutdown once admissions drained
+	done     chan struct{} // closed when the batcher exits
+
+	mRequests *obs.Counter
+	mErrors   *obs.Counter
+	mReloads  *obs.Counter
+	mBatches  *obs.Counter
+	gInflight *obs.Gauge
+	hBatch    *obs.Histogram
+	hQueueNS  *obs.Histogram
+	hModelNS  *obs.Histogram
+	hTotalNS  *obs.Histogram
+
+	batchMats []window.Matrix // batcher-only scratch
+}
+
+// New starts a serving loop around fw. The framework must not be used
+// directly (Predict/PredictBatch) while the server owns it.
+func New(fw *core.Framework, cfg Config) *Server {
+	if fw == nil {
+		panic("serve: nil framework")
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.MaxInflight),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+
+		mRequests: cfg.Sink.Counter("serve", "", "requests"),
+		mErrors:   cfg.Sink.Counter("serve", "", "errors"),
+		mReloads:  cfg.Sink.Counter("serve", "", "reloads"),
+		mBatches:  cfg.Sink.Counter("serve", "", "batches"),
+		gInflight: cfg.Sink.Gauge("serve", "", "queue_depth"),
+		hBatch:    cfg.Sink.Histogram("serve", "", "batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
+		hQueueNS:  cfg.Sink.Histogram("serve", "", "queue_wait_ns", obs.TimeBuckets()),
+		hModelNS:  cfg.Sink.Histogram("serve", "", "model_ns", obs.TimeBuckets()),
+		hTotalNS:  cfg.Sink.Histogram("serve", "", "total_ns", obs.TimeBuckets()),
+
+		batchMats: make([]window.Matrix, 0, cfg.MaxBatch),
+	}
+	s.fw.Store(fw)
+	go s.batcher()
+	return s
+}
+
+// Framework returns the currently served framework (hot-reload aware).
+func (s *Server) Framework() *core.Framework { return s.fw.Load() }
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() *obs.Snapshot { return s.cfg.Sink.Snapshot() }
+
+// Predict classifies one raw window matrix, transparently batched with
+// whatever other requests are in flight. The returned probs slice is the
+// caller's to keep. Safe for any number of concurrent callers.
+func (s *Server) Predict(ctx context.Context, mat window.Matrix) (class int, probs []float64, err error) {
+	start := time.Now()
+	s.mRequests.Inc()
+	if err := validate(s.fw.Load(), mat); err != nil {
+		s.mErrors.Inc()
+		return 0, nil, err
+	}
+
+	// Admission gate: taken read-side so Shutdown can atomically flip
+	// stopping and then wait out everyone already admitted.
+	s.gateMu.RLock()
+	if s.stopping {
+		s.gateMu.RUnlock()
+		s.mErrors.Inc()
+		return 0, nil, ErrShuttingDown
+	}
+	s.inflight.Add(1)
+	s.gateMu.RUnlock()
+	defer s.inflight.Done()
+
+	req := &request{mat: mat, resp: make(chan response, 1), enq: start}
+	select {
+	case s.queue <- req:
+		s.gInflight.Set(float64(len(s.queue)))
+	default:
+		s.mErrors.Inc()
+		return 0, nil, fmt.Errorf("%w: queue full (%d)", ErrOverloaded, s.cfg.MaxInflight)
+	}
+	select {
+	case r := <-req.resp:
+		s.hTotalNS.Observe(float64(time.Since(start)))
+		return r.class, r.probs, nil
+	case <-ctx.Done():
+		// The batcher will still answer into the buffered channel; we just
+		// stop waiting.
+		s.mErrors.Inc()
+		return 0, nil, ctx.Err()
+	}
+}
+
+// Reload atomically swaps in the framework at path (Config.ModelPath when
+// empty) without disturbing in-flight requests: batches already cut keep the
+// framework pointer they loaded. Invalid files leave the old framework
+// serving.
+func (s *Server) Reload(path string) error {
+	if path == "" {
+		path = s.cfg.ModelPath
+	}
+	if path == "" {
+		return errors.New("serve: no model path to reload from")
+	}
+	fw, err := core.LoadFramework(path)
+	if err != nil {
+		return fmt.Errorf("serve: reload %s: %w", path, err)
+	}
+	s.fw.Store(fw)
+	s.mReloads.Inc()
+	return nil
+}
+
+// Shutdown gracefully stops the server: new requests are refused with
+// ErrShuttingDown, every admitted request is answered, then the batcher
+// exits. Returns ctx.Err() if the context expires first (the batcher is
+// left running so stragglers still get answers). Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gateMu.Lock()
+	s.stopping = true
+	s.gateMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// validate checks mat against the loaded model's expected shape.
+func validate(fw *core.Framework, mat window.Matrix) error {
+	nTargets, nFeat := fw.Dims()
+	if len(mat) == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrBadInput)
+	}
+	if nTargets > 0 && len(mat) != nTargets {
+		return fmt.Errorf("%w: %d rows, model expects %d targets", ErrBadInput, len(mat), nTargets)
+	}
+	for t, row := range mat {
+		if len(row) != nFeat {
+			return fmt.Errorf("%w: row %d has %d features, model expects %d",
+				ErrBadInput, t, len(row), nFeat)
+		}
+	}
+	return nil
+}

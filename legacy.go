@@ -1,0 +1,33 @@
+package quanterference
+
+// This file holds the original panic-on-error entry points, kept as thin
+// wrappers so existing callers build unchanged. New code should use the
+// error-returning forms (RunE, CollectDatasetE, TrainFrameworkE) or the
+// context-aware forms (RunCtx, CollectDatasetCtx, TrainFrameworkCtx).
+
+import "quanterference/internal/core"
+
+// Run executes a scenario on a fresh cluster.
+//
+// Deprecated: Run panics on invalid scenarios. Use RunE, which returns
+// typed errors (ErrInvalidScenario, ErrInvalidTopology), or RunCtx for
+// cancellation.
+func Run(s Scenario) *RunResult { return core.Run(s) }
+
+// CollectDataset implements the paper's §III-D data generation.
+//
+// Deprecated: CollectDataset panics when the baseline does not finish. Use
+// CollectDatasetE, which returns typed errors (ErrBaselineUnfinished,
+// ErrAllVariantsFailed), or CollectDatasetCtx for cancellation.
+func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *Dataset {
+	return core.CollectDataset(base, variants, cfg)
+}
+
+// TrainFramework trains the kernel-based model with the paper's 80/20 split
+// and returns the framework plus the held-out confusion matrix.
+//
+// Deprecated: TrainFramework panics on empty datasets. Use TrainFrameworkE,
+// which returns ErrEmptyDataset, or TrainFrameworkCtx for cancellation.
+func TrainFramework(ds *Dataset, cfg FrameworkConfig) (*Framework, *Confusion) {
+	return core.TrainFramework(ds, cfg)
+}

@@ -30,9 +30,16 @@
 //	res, err = quanterference.RunE(scenario, quanterference.WithSink(sink))
 //	_ = sink.WriteTrace(file) // open in about:tracing / Perfetto
 //
-// Run, CollectDataset, and TrainFramework are the original panic-on-error
-// entry points, kept as thin wrappers for existing callers; new code should
-// use the error-returning RunE/CollectDatasetE/TrainFrameworkE.
+// Every entry point also has a context-aware form (RunCtx, CollectDatasetCtx,
+// TrainFrameworkCtx) that observes cancellation and deadlines, returning an
+// error matching both ErrCanceled and the context's own error. The original
+// panic-on-error entry points (Run, CollectDataset, TrainFramework) live in
+// legacy.go as deprecated thin wrappers for existing callers.
+//
+// A trained framework can also be served over HTTP with cmd/quantserve,
+// which batches concurrent predictions deterministically and hot-reloads
+// the model file without dropping requests; see internal/serve and the
+// README's "Serving" section.
 //
 // # Determinism
 //
@@ -52,6 +59,8 @@
 package quanterference
 
 import (
+	"context"
+
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
@@ -145,6 +154,10 @@ var (
 	ErrAllVariantsFailed  = core.ErrAllVariantsFailed
 	ErrEmptyDataset       = core.ErrEmptyDataset
 	ErrBadFrameworkFile   = core.ErrBadFrameworkFile
+	// ErrCanceled marks errors from the *Ctx entry points whose context was
+	// done; the error also matches the context's own error (context.Canceled
+	// or context.DeadlineExceeded).
+	ErrCanceled = core.ErrCanceled
 )
 
 // NewSink returns an empty observability sink.
@@ -160,23 +173,17 @@ func WithCollectReport(r *CollectReport) Option { return core.WithCollectReport(
 // NewCluster builds a fresh simulated cluster.
 func NewCluster(topo Topology, cfg Config) *Cluster { return core.NewCluster(topo, cfg) }
 
-// Run executes a scenario on a fresh cluster.
-//
-// Deprecated for new code: Run panics on invalid scenarios; prefer RunE.
-func Run(s Scenario) *RunResult { return core.Run(s) }
-
 // RunE executes a scenario on a fresh cluster, returning typed errors
 // (ErrInvalidScenario, ErrInvalidTopology) instead of panicking. The
 // cluster is instrumented on WithSink's sink (or a private one), so
 // RunResult.Stats is always populated.
 func RunE(s Scenario, opts ...Option) (*RunResult, error) { return core.RunE(s, opts...) }
 
-// CollectDataset implements the paper's §III-D data generation.
-//
-// Deprecated for new code: CollectDataset panics when the baseline does not
-// finish; prefer CollectDatasetE.
-func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *Dataset {
-	return core.CollectDataset(base, variants, cfg)
+// RunCtx is RunE with cancellation: the simulation loop observes ctx at
+// every window boundary; when the context is done the run is abandoned with
+// an error matching both ErrCanceled and ctx.Err().
+func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error) {
+	return core.RunCtx(ctx, s, opts...)
 }
 
 // CollectDatasetE implements §III-D data generation, returning
@@ -188,19 +195,26 @@ func CollectDatasetE(base Scenario, variants []Variant, cfg CollectorConfig, opt
 	return core.CollectDatasetE(base, variants, cfg, opts...)
 }
 
-// TrainFramework trains the kernel-based model with the paper's 80/20 split
-// and returns the framework plus the held-out confusion matrix.
-//
-// Deprecated for new code: TrainFramework panics on empty datasets; prefer
-// TrainFrameworkE.
-func TrainFramework(ds *Dataset, cfg FrameworkConfig) (*Framework, *Confusion) {
-	return core.TrainFramework(ds, cfg)
+// CollectDatasetCtx is CollectDatasetE with cancellation: the baseline and
+// every parallel variant run observe ctx, and a done context aborts the
+// collection with an error matching both ErrCanceled and ctx.Err().
+func CollectDatasetCtx(ctx context.Context, base Scenario, variants []Variant, cfg CollectorConfig, opts ...Option) (*Dataset, error) {
+	return core.CollectDatasetCtx(ctx, base, variants, cfg, opts...)
 }
 
-// TrainFrameworkE trains like TrainFramework but returns ErrEmptyDataset on
-// nil/empty input and rejects malformed configs with an error.
+// TrainFrameworkE trains the kernel-based model with the paper's 80/20
+// split and returns the framework plus the held-out confusion matrix. It
+// returns ErrEmptyDataset on nil/empty input and rejects malformed configs
+// with an error.
 func TrainFrameworkE(ds *Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *Confusion, error) {
 	return core.TrainFrameworkE(ds, cfg, opts...)
+}
+
+// TrainFrameworkCtx is TrainFrameworkE with cancellation: the epoch loop
+// observes ctx and a done context stops training with an error matching
+// both ErrCanceled and ctx.Err().
+func TrainFrameworkCtx(ctx context.Context, ds *Dataset, cfg FrameworkConfig, opts ...Option) (*Framework, *Confusion, error) {
+	return core.TrainFrameworkCtx(ctx, ds, cfg, opts...)
 }
 
 // WindowMatrix is one time window's per-server feature vectors.

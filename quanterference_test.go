@@ -3,6 +3,8 @@
 package quanterference_test
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -20,9 +22,21 @@ func facadeTarget(bytes int64) quant.TargetSpec {
 }
 
 func TestFacadeRun(t *testing.T) {
-	res := quant.Run(quant.Scenario{Target: facadeTarget(16 << 20)})
+	res, err := quant.RunE(quant.Scenario{Target: facadeTarget(16 << 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Finished || len(res.Records) == 0 {
 		t.Fatalf("run failed: %+v", res)
+	}
+}
+
+func TestFacadeRunCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := quant.RunCtx(ctx, quant.Scenario{Target: facadeTarget(16 << 20)})
+	if !errors.Is(err, quant.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
 	}
 }
 
@@ -36,18 +50,30 @@ func TestFacadeCollectTrainPredictPersist(t *testing.T) {
 			Ranks: 6,
 		}}},
 	}
-	ds := quant.CollectDataset(quant.Scenario{Target: facadeTarget(48 << 20)},
+	ds, err := quant.CollectDatasetE(quant.Scenario{Target: facadeTarget(48 << 20)},
 		variants, quant.CollectorConfig{IncludeBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ds.Len() == 0 {
 		t.Fatal("no samples")
 	}
-	fw, cm := quant.TrainFramework(ds, quant.FrameworkConfig{Seed: 2})
+	fw, cm, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cm.Total() == 0 {
 		t.Fatal("no evaluation")
 	}
 	class, probs := fw.Predict(ds.Samples[0].Vectors)
 	if class < 0 || class > 1 || len(probs) != 2 {
 		t.Fatalf("prediction %d %v", class, probs)
+	}
+	// Batched inference through the facade matches one-at-a-time Predict.
+	mats := []quant.WindowMatrix{ds.Samples[0].Vectors, ds.Samples[len(ds.Samples)-1].Vectors}
+	cls, batchProbs := fw.PredictBatch(mats)
+	if cls[0] != class || len(batchProbs) != 2 {
+		t.Fatalf("PredictBatch disagrees: %v vs %d", cls, class)
 	}
 	// Persistence round trip through the facade.
 	path := filepath.Join(t.TempDir(), "fw.json")
