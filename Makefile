@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,12 @@ tier1: build test
 # change to internal/obs or the instrumentation hot paths, since a shared
 # Sink is mutated from par.Map worker goroutines. The focused -count=1 race
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
-# obs's shared sink, fault's injection across parallel variant runs).
-verify: docs-check serve-smoke
+# obs's shared sink, fault's injection across parallel variant runs, online's
+# loop promoting through the live server under concurrent predictions).
+verify: docs-check serve-smoke online-smoke
+	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
@@ -59,6 +61,13 @@ serve-smoke:
 		{ echo "serve-smoke: bad /stats"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean exit"; exit 1; }; \
 	trap - EXIT; echo "serve-smoke: OK"
+
+# online-smoke runs the deterministic continuous-learning episode end to end:
+# drift detected on a fault-injected stream, warm-started retrain, gated
+# promotion through the server's hot-reload under concurrent load, and a
+# forced rejection with rollback.
+online-smoke:
+	$(GO) run ./cmd/quantonline -smoke
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -19,6 +19,7 @@ import (
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
 	"quanterference/internal/netsim"
+	"quanterference/internal/online"
 	"quanterference/internal/sim"
 	"quanterference/internal/trace"
 	"quanterference/internal/workload"
@@ -403,6 +404,59 @@ func BenchmarkFrameworkPredictBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fw.PredictBatch(mats)
 	}
+}
+
+// BenchmarkDriftDetector measures the continuous-learning monitor's per-window
+// cost: one ObserveWindow (streaming moment update over 7 targets × 34
+// features) plus one full Score (per-feature z/effect/variance-ratio sweep) —
+// the work internal/online pays on every live window.
+func BenchmarkDriftDetector(b *testing.B) {
+	ds := syntheticDataset(64)
+	det := online.NewDetector(dataset.FitScaler(ds), 0.95, online.DriftConfig{})
+	mats := make([]quant.WindowMatrix, ds.Len())
+	for i := range mats {
+		mats[i] = ds.Samples[i].Vectors
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.ObserveWindow(mats[i%len(mats)])
+		if s := det.Score(); s.Windows == 0 {
+			b.Fatal("no observations")
+		}
+	}
+}
+
+// BenchmarkWarmStartEpoch measures one incremental retraining epoch from an
+// incumbent's weights (clone + scaler reuse + single epoch) against the cost
+// of the same epoch from scratch — the marginal price of a continuous-learning
+// retrain.
+func BenchmarkWarmStartEpoch(b *testing.B) {
+	ds := syntheticDataset(256)
+	incumbent, _, err := quant.TrainFrameworkE(ds, quant.FrameworkConfig{
+		Seed: 1, Train: ml.TrainConfig{Epochs: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := quant.FrameworkConfig{Seed: 1, Train: ml.TrainConfig{Epochs: 1}}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Train.Seed = int64(i + 1)
+			if _, _, err := quant.TrainFrameworkE(ds, c, quant.WithWarmStart(incumbent)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Train.Seed = int64(i + 1)
+			if _, _, err := quant.TrainFrameworkE(ds, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLabeler measures baseline matching over 10k records.

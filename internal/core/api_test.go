@@ -266,6 +266,7 @@ func TestLoadFrameworkRejectsBadFiles(t *testing.T) {
 		{"garbage.json", "not json at all", ""},
 		{"unrelated.json", `{"weights": [1, 2, 3]}`, "format"},
 		{"future.json", `{"format": "quanterference.framework", "version": 99}`, "version 99"},
+		{"preversion.json", `{"format": "quanterference.framework", "model": {}}`, "version 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

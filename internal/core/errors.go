@@ -38,6 +38,12 @@ var (
 	// build's persistence format (wrong format tag or version).
 	ErrBadFrameworkFile = errors.New("core: unrecognized framework file")
 
+	// ErrWarmStartMismatch reports a WithWarmStart framework whose model
+	// shape (targets, features, classes) or scaler width does not match the
+	// dataset being retrained on — warm starting only makes sense when the
+	// candidate reads the same input space as the incumbent.
+	ErrWarmStartMismatch = errors.New("core: warm-start framework does not match dataset shape")
+
 	// ErrCanceled reports that a context-aware entry point (RunCtx,
 	// CollectDatasetCtx, TrainFrameworkCtx) stopped because its context was
 	// done. The returned error wraps both ErrCanceled and the context's own

@@ -69,26 +69,53 @@ func trainFramework(ctx context.Context, ds *dataset.Dataset, cfg FrameworkConfi
 	if cfg.Train.Seed == 0 {
 		cfg.Train.Seed = cfg.Seed
 	}
+	nFeat := len(ds.FeatureNames)
+
+	var model ml.Model
+	var scaler *dataset.Scaler
+	if o.warm != nil {
+		// Warm start: clone the incumbent's architecture and weights, and
+		// keep its scaler and bins — retrained weights only mean anything in
+		// the input space they were trained in. The clone is independent, so
+		// the incumbent may keep serving while the candidate trains.
+		if err := o.warm.checkWarmShape(ds); err != nil {
+			return nil, nil, err
+		}
+		m, err := ml.CloneModel(o.warm.Model)
+		if err != nil {
+			return nil, nil, err
+		}
+		model = m
+		scaler = &dataset.Scaler{
+			Mean: append([]float64(nil), o.warm.Scaler.Mean...),
+			Std:  append([]float64(nil), o.warm.Scaler.Std...),
+		}
+		if o.bins == nil {
+			cfg.Bins = o.warm.Bins
+		}
+	} else {
+		switch {
+		case cfg.NewModel != nil:
+			model = cfg.NewModel(ds.NTargets, nFeat, ds.Classes, cfg.Seed)
+		case cfg.Flat:
+			model = ml.NewFlatModel(ds.NTargets, nFeat, ds.Classes, nil, cfg.Seed)
+		default:
+			model = ml.NewKernelModel(ml.KernelConfig{
+				NTargets: ds.NTargets, NFeat: nFeat, Classes: ds.Classes, Seed: cfg.Seed,
+			})
+		}
+	}
+
 	train, test := ds.Split(cfg.TestFrac, cfg.Seed^0x5717)
 	// Standardize copies: the caller's dataset must stay in raw units so
 	// Framework.Predict (which scales its own input) sees raw vectors.
 	train, test = train.Copy(), test.Copy()
-	scaler := dataset.FitScaler(train)
+	if scaler == nil {
+		scaler = dataset.FitScaler(train)
+	}
 	scaler.Transform(train)
 	scaler.Transform(test)
 
-	var model ml.Model
-	nFeat := len(ds.FeatureNames)
-	switch {
-	case cfg.NewModel != nil:
-		model = cfg.NewModel(ds.NTargets, nFeat, ds.Classes, cfg.Seed)
-	case cfg.Flat:
-		model = ml.NewFlatModel(ds.NTargets, nFeat, ds.Classes, nil, cfg.Seed)
-	default:
-		model = ml.NewKernelModel(ml.KernelConfig{
-			NTargets: ds.NTargets, NFeat: nFeat, Classes: ds.Classes, Seed: cfg.Seed,
-		})
-	}
 	cfg.Train.BalanceClasses = true
 	if _, err := ml.TrainCtx(ctx, model, train, cfg.Train); err != nil {
 		return nil, nil, fmt.Errorf("%w: training stopped: %w", ErrCanceled, err)
@@ -96,6 +123,25 @@ func trainFramework(ctx context.Context, ds *dataset.Dataset, cfg FrameworkConfi
 
 	fw := &Framework{Bins: cfg.Bins, Model: model, Scaler: scaler}
 	return fw, ml.Evaluate(model, test), nil
+}
+
+// checkWarmShape verifies the warm-start framework reads the dataset's input
+// space: same target count, feature width, and class count.
+func (f *Framework) checkWarmShape(ds *dataset.Dataset) error {
+	if f == nil || f.Model == nil || f.Scaler == nil {
+		return fmt.Errorf("%w: nil framework, model, or scaler", ErrWarmStartMismatch)
+	}
+	if len(f.Scaler.Mean) != len(ds.FeatureNames) {
+		return fmt.Errorf("%w: scaler has %d features, dataset has %d",
+			ErrWarmStartMismatch, len(f.Scaler.Mean), len(ds.FeatureNames))
+	}
+	if nT, nF, cls, ok := ml.Dims(f.Model); ok {
+		if nT != ds.NTargets || nF != len(ds.FeatureNames) || cls != ds.Classes {
+			return fmt.Errorf("%w: model is %dx%d/%d classes, dataset is %dx%d/%d classes",
+				ErrWarmStartMismatch, nT, nF, cls, ds.NTargets, len(ds.FeatureNames), ds.Classes)
+		}
+	}
+	return nil
 }
 
 // TrainFrameworkCtx is TrainFrameworkE with cancellation: the training epoch
@@ -192,6 +238,32 @@ func (f *Framework) PredictBatch(mats []window.Matrix) ([]int, [][]float64) {
 	}
 	return cls, probs
 }
+
+// Clone returns an independent deep copy of the framework: a weight-equal
+// model with private scratch, plus copied scaler and bins. Predictions are
+// bit-identical to the original's, but the two may be used (or trained) from
+// different goroutines without sharing any mutable state — the primitive the
+// continuous-learning loop uses to evaluate an incumbent that the serving
+// layer owns.
+func (f *Framework) Clone() (*Framework, error) {
+	m, err := ml.CloneModel(f.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Bins:  label.Bins{Thresholds: append([]float64(nil), f.Bins.Thresholds...)},
+		Model: m,
+		Scaler: &dataset.Scaler{
+			Mean: append([]float64(nil), f.Scaler.Mean...),
+			Std:  append([]float64(nil), f.Scaler.Std...),
+		},
+	}, nil
+}
+
+// ExportWeights snapshots the model's weight tensors bit-exactly (ml
+// ExportWeights order) — what the determinism tests compare across same-seed
+// runs, and what a promotion audit trail can record.
+func (f *Framework) ExportWeights() [][]float64 { return ml.ExportWeights(f.Model) }
 
 // Classes returns the model's class count (falling back to the bins when the
 // model type is unknown to ml.Dims).

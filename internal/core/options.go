@@ -18,6 +18,7 @@ type options struct {
 	minOps   *int
 	baseline *bool
 	report   *CollectReport
+	warm     *Framework
 }
 
 func applyOptions(opts []Option) options {
@@ -60,6 +61,20 @@ func WithMinOpsPerWindow(n int) Option {
 // looks like. Applies to CollectDatasetE.
 func WithBaselineSamples(include bool) Option {
 	return func(o *options) { b := include; o.baseline = &b }
+}
+
+// WithWarmStart makes TrainFrameworkE/TrainFrameworkCtx start from an
+// incumbent framework instead of fresh random weights: the candidate model is
+// an independent clone of fw's architecture and weights (the incumbent is
+// never touched and may keep serving), and the incumbent's scaler and bins
+// are reused so the warm weights keep reading the input space they were
+// trained in. FrameworkConfig.Flat/NewModel/Bins are ignored under warm
+// start; cfg.Train still controls the epochs, learning rate, and worker
+// count of the incremental pass. A framework whose shape does not match the
+// dataset returns an error wrapping ErrWarmStartMismatch. Applies to
+// TrainFrameworkE and TrainFrameworkCtx.
+func WithWarmStart(fw *Framework) Option {
+	return func(o *options) { o.warm = fw }
 }
 
 // WithCollectReport fills r with per-variant completion accounting after

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+)
+
+// warmDataset builds a small separable synthetic dataset: class 1 rows sit
+// `shift` standard deviations above class 0 rows.
+func warmDataset(n int, nTargets, nFeat int, seed int64, shift float64) *dataset.Dataset {
+	names := make([]string, nFeat)
+	for i := range names {
+		names[i] = "f" + string(rune('0'+i))
+	}
+	ds := dataset.New(names, nTargets, 2)
+	rng := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		vecs := make([][]float64, nTargets)
+		for t := range vecs {
+			v := make([]float64, nFeat)
+			for f := range v {
+				v[f] = rng.NormFloat64() + float64(label)*shift
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{
+			Workload: "synthetic", Run: "warm", Window: i,
+			Degradation: 1 + float64(label)*2, Label: label, Vectors: vecs,
+		})
+	}
+	return ds
+}
+
+func TestWarmStartReusesIncumbentState(t *testing.T) {
+	ds := warmDataset(60, 3, 5, 7, 3)
+	incumbent, _, err := TrainFrameworkE(ds, FrameworkConfig{
+		Seed: 7, Train: ml.TrainConfig{Epochs: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := incumbent.ExportWeights()
+
+	cand, conf, err := TrainFrameworkE(ds, FrameworkConfig{
+		Seed: 99, Train: ml.TrainConfig{Epochs: 10},
+	}, WithWarmStart(incumbent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf == nil {
+		t.Fatal("no confusion matrix from warm retrain")
+	}
+	// Scaler and bins carry over, but as independent copies.
+	if !reflect.DeepEqual(cand.Scaler.Mean, incumbent.Scaler.Mean) ||
+		!reflect.DeepEqual(cand.Scaler.Std, incumbent.Scaler.Std) {
+		t.Fatal("warm candidate did not reuse the incumbent scaler")
+	}
+	if &cand.Scaler.Mean[0] == &incumbent.Scaler.Mean[0] {
+		t.Fatal("warm candidate shares the incumbent scaler backing array")
+	}
+	if !reflect.DeepEqual(cand.Bins, incumbent.Bins) {
+		t.Fatal("warm candidate did not reuse the incumbent bins")
+	}
+	// The incumbent's weights must be untouched by the candidate's training.
+	if !reflect.DeepEqual(incumbent.ExportWeights(), before) {
+		t.Fatal("warm-start training mutated the incumbent weights")
+	}
+	// And the candidate must have actually trained (weights moved).
+	if reflect.DeepEqual(cand.ExportWeights(), before) {
+		t.Fatal("warm candidate weights identical to incumbent after 10 epochs")
+	}
+}
+
+func TestWarmStartShapeMismatch(t *testing.T) {
+	ds := warmDataset(40, 3, 5, 7, 3)
+	incumbent, _, err := TrainFrameworkE(ds, FrameworkConfig{
+		Seed: 7, Train: ml.TrainConfig{Epochs: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, bad := range map[string]*dataset.Dataset{
+		"feature width": warmDataset(40, 3, 6, 7, 3),
+		"target count":  warmDataset(40, 4, 5, 7, 3),
+	} {
+		if _, _, err := TrainFrameworkE(bad, FrameworkConfig{
+			Train: ml.TrainConfig{Epochs: 1},
+		}, WithWarmStart(incumbent)); !errors.Is(err, ErrWarmStartMismatch) {
+			t.Errorf("%s mismatch: got %v, want ErrWarmStartMismatch", name, err)
+		}
+	}
+	if _, _, err := TrainFrameworkE(ds, FrameworkConfig{
+		Train: ml.TrainConfig{Epochs: 1},
+	}, WithWarmStart(&Framework{})); !errors.Is(err, ErrWarmStartMismatch) {
+		t.Errorf("empty framework: got %v, want ErrWarmStartMismatch", err)
+	}
+}
+
+func TestFrameworkCloneIndependent(t *testing.T) {
+	ds := warmDataset(60, 3, 5, 11, 3)
+	fw, _, err := TrainFrameworkE(ds, FrameworkConfig{
+		Seed: 11, Train: ml.TrainConfig{Epochs: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := fw.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clone.ExportWeights(), fw.ExportWeights()) {
+		t.Fatal("clone weights differ from original")
+	}
+	// Identical predictions on raw vectors.
+	for _, s := range ds.Samples[:10] {
+		c1, p1 := fw.Predict(window.Matrix(s.Vectors))
+		c2, p2 := clone.Predict(window.Matrix(s.Vectors))
+		if c1 != c2 || !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("clone prediction diverged: %d/%v vs %d/%v", c1, p1, c2, p2)
+		}
+	}
+	// Retraining from the clone must leave the original untouched.
+	before := fw.ExportWeights()
+	if _, _, err := TrainFrameworkE(ds, FrameworkConfig{
+		Train: ml.TrainConfig{Epochs: 5},
+	}, WithWarmStart(clone)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fw.ExportWeights(), before) {
+		t.Fatal("retraining from the clone mutated the original")
+	}
+}

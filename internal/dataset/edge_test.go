@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestEmptyDatasetRoundTrip pins the zero-sample edge: a freshly created
+// dataset must survive Save/Load with its schema intact and keep behaving
+// (Split, FitScaler, Copy) without panicking on the empty sample slice.
+func TestEmptyDatasetRoundTrip(t *testing.T) {
+	d := New([]string{"f0", "f1", "f2"}, 4, 3)
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.FeatureNames, d.FeatureNames) ||
+		got.NTargets != d.NTargets || got.Classes != d.Classes {
+		t.Fatalf("schema changed across round-trip: %+v", got)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty dataset loaded %d samples", got.Len())
+	}
+
+	train, test := got.Split(0.2, 1)
+	if train.Len() != 0 || test.Len() != 0 {
+		t.Fatalf("empty split produced samples: %d/%d", train.Len(), test.Len())
+	}
+	if counts := got.ClassCounts(); len(counts) != 3 {
+		t.Fatalf("class counts = %v", counts)
+	}
+	// FitScaler on no data must fall back to identity stds, so Transform is
+	// a no-op rather than a divide-by-zero.
+	s := FitScaler(got)
+	for f, std := range s.Std {
+		if std != 1 || s.Mean[f] != 0 {
+			t.Fatalf("empty-fit scaler = %+v, want zero mean / unit std", s)
+		}
+	}
+	if got.Copy().Len() != 0 {
+		t.Fatal("copy of empty dataset has samples")
+	}
+}
+
+// TestDuplicateWindowAppend pins that Add performs no (run, window)
+// de-duplication: two samples for the same window of the same run are both
+// kept, in insertion order. Collectors rely on this when a variant re-runs —
+// de-duplicating silently would hide the duplication bug upstream.
+func TestDuplicateWindowAppend(t *testing.T) {
+	d := New([]string{"f0"}, 1, 2)
+	first := &Sample{Run: "r1", Window: 5, Label: 0, Degradation: 1, Vectors: [][]float64{{1}}}
+	dup := &Sample{Run: "r1", Window: 5, Label: 1, Degradation: 3, Vectors: [][]float64{{2}}}
+	d.Add(first)
+	d.Add(dup)
+	if d.Len() != 2 {
+		t.Fatalf("duplicate window collapsed: %d samples", d.Len())
+	}
+	if d.Samples[0] != first || d.Samples[1] != dup {
+		t.Fatal("samples reordered or replaced")
+	}
+	if counts := d.ClassCounts(); counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+
+	// Round-trip keeps both, bit for bit.
+	path := filepath.Join(t.TempDir(), "dup.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 ||
+		got.Samples[0].Vectors[0][0] != 1 || got.Samples[1].Vectors[0][0] != 2 ||
+		got.Samples[0].Window != 5 || got.Samples[1].Window != 5 {
+		t.Fatalf("round-trip changed duplicate windows: %+v", got.Samples)
+	}
+}

@@ -19,34 +19,37 @@ type ModelSpec struct {
 	Weights  [][]float64 `json:"weights"`
 }
 
-// exportWeights snapshots every parameter tensor in Params order.
-func exportWeights(params []nn.Param) [][]float64 {
-	out := make([][]float64, len(params))
-	for i, p := range params {
-		out[i] = append([]float64(nil), p.W...)
-	}
-	return out
+// ExportWeights snapshots every parameter tensor of a model, in Params
+// order, into freshly allocated slices — the bit-exact weight state, suitable
+// for equality comparison across runs (the determinism tests) or for feeding
+// back through ImportWeights.
+func ExportWeights(m Model) [][]float64 { return nn.SnapshotParams(m.Params()) }
+
+// ImportWeights restores an ExportWeights snapshot into a model with the
+// same architecture. Shapes must match exactly; a failed import leaves the
+// model untouched.
+func ImportWeights(m Model, weights [][]float64) error {
+	return nn.RestoreParams(m.Params(), weights)
 }
 
-// importWeights restores a snapshot; shapes must match exactly.
-func importWeights(params []nn.Param, weights [][]float64) error {
-	if len(params) != len(weights) {
-		return fmt.Errorf("ml: weight count %d, model has %d tensors", len(weights), len(params))
+// CloneModel builds an independent copy of a model: same architecture, same
+// weights, private gradient state and scratch. Unlike Replica (which shares
+// weight storage for data-parallel training), a clone may be trained or used
+// for inference without affecting the original — the primitive behind
+// warm-started retraining, where a candidate starts from the incumbent's
+// weights but must not perturb the incumbent while it keeps serving.
+func CloneModel(m Model) (Model, error) {
+	spec, err := Snapshot(m)
+	if err != nil {
+		return nil, err
 	}
-	for i, p := range params {
-		if len(p.W) != len(weights[i]) {
-			return fmt.Errorf("ml: tensor %d has %d weights, snapshot has %d",
-				i, len(p.W), len(weights[i]))
-		}
-		copy(p.W, weights[i])
-	}
-	return nil
+	return Restore(spec)
 }
 
 // Snapshot captures a model's architecture and weights. The model must be
 // one of this package's concrete types.
 func Snapshot(m Model) (*ModelSpec, error) {
-	spec := &ModelSpec{Weights: exportWeights(m.Params())}
+	spec := &ModelSpec{Weights: nn.SnapshotParams(m.Params())}
 	switch t := m.(type) {
 	case *KernelModel:
 		spec.Kind = "kernel"
@@ -80,7 +83,7 @@ func Restore(spec *ModelSpec) (Model, error) {
 	default:
 		return nil, fmt.Errorf("ml: unknown model kind %q", spec.Kind)
 	}
-	if err := importWeights(m.Params(), spec.Weights); err != nil {
+	if err := nn.RestoreParams(m.Params(), spec.Weights); err != nil {
 		return nil, err
 	}
 	return m, nil

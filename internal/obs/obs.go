@@ -199,6 +199,10 @@ func LinearBuckets(start, step float64, n int) []float64 {
 	return out
 }
 
+// UnitBuckets are bounds for [0, 1]-valued observations (drift scores,
+// accuracies, occupancy fractions): twenty 0.05-wide buckets plus overflow.
+func UnitBuckets() []float64 { return LinearBuckets(0.05, 0.05, 20) }
+
 // Sink is the metrics registry and trace collector. Obtain handles with
 // Counter/Gauge/Histogram at instrumentation time; re-registering the same
 // key returns the same handle, so a shared Sink aggregates across

@@ -1,0 +1,76 @@
+package online
+
+import (
+	"quanterference/internal/dataset"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/sim"
+)
+
+// Example is one labeled window: the matrix the monitors emitted, the
+// measured degradation once the delayed label arrived, and its class under
+// the incumbent's bins.
+type Example struct {
+	// Window is the source window index (diagnostic only).
+	Window int
+	// Matrix is the raw (unscaled) per-server feature matrix. The buffer
+	// shares it read-only with the caller; it must not be mutated after
+	// OfferLabeled.
+	Matrix window.Matrix
+	// Degradation is the measured slowdown ratio; Label its class.
+	Degradation float64
+	Label       int
+}
+
+// Buffer is a bounded labeled-example reservoir. It keeps a uniform sample
+// of everything ever offered (Vitter's Algorithm R) under a seeded RNG, so
+// the retained set — and therefore every retrain — is a deterministic
+// function of the seed and the offer sequence.
+type Buffer struct {
+	capacity int
+	rng      *sim.RNG
+	items    []Example
+	seen     int
+}
+
+// NewBuffer builds a reservoir holding at most capacity examples.
+func NewBuffer(capacity int, seed int64) *Buffer {
+	if capacity <= 0 {
+		panic("online: non-positive buffer capacity")
+	}
+	return &Buffer{capacity: capacity, rng: sim.NewRNG(seed)}
+}
+
+// Offer feeds one example through the reservoir: appended while the buffer
+// has room, then replacing a uniformly chosen resident with probability
+// capacity/seen.
+func (b *Buffer) Offer(ex Example) {
+	b.seen++
+	if len(b.items) < b.capacity {
+		b.items = append(b.items, ex)
+		return
+	}
+	if j := b.rng.Intn(b.seen); j < b.capacity {
+		b.items[j] = ex
+	}
+}
+
+// Len is the resident example count; Seen the total ever offered.
+func (b *Buffer) Len() int  { return len(b.items) }
+func (b *Buffer) Seen() int { return b.seen }
+
+// Dataset assembles the resident examples into a dataset with the given
+// schema, in slot order (deterministic for a deterministic offer sequence).
+// Vectors are shared with the buffered matrices, which stay read-only.
+func (b *Buffer) Dataset(featureNames []string, nTargets, classes int) *dataset.Dataset {
+	ds := dataset.New(featureNames, nTargets, classes)
+	for _, ex := range b.items {
+		ds.Add(&dataset.Sample{
+			Run:         "online",
+			Window:      ex.Window,
+			Degradation: ex.Degradation,
+			Label:       ex.Label,
+			Vectors:     ex.Matrix,
+		})
+	}
+	return ds
+}

@@ -1,0 +1,73 @@
+package online
+
+import (
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/monitor/window"
+)
+
+// GateConfig tunes the candidate evaluation gate.
+type GateConfig struct {
+	// HoldFrac is the fraction of the example buffer held out of retraining
+	// and used to score candidate vs incumbent (default 0.25). The holdout is
+	// split off before training, so the candidate never sees it.
+	HoldFrac float64
+	// Margin is how much holdout accuracy the candidate may give up relative
+	// to the incumbent and still be promoted: promote iff
+	// candidate >= incumbent - Margin (default 0.02). A negative margin
+	// demands the candidate *beat* the incumbent by |Margin|; anything below
+	// -1 is an impossible bar that force-rejects every candidate (the
+	// rollback drill knob cmd/quantonline exposes as -gate-margin).
+	Margin float64
+}
+
+func (c *GateConfig) applyDefaults() {
+	if c.HoldFrac == 0 {
+		c.HoldFrac = 0.25
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.02
+	}
+}
+
+// GateResult records one candidate evaluation.
+type GateResult struct {
+	// CandidateAccuracy and IncumbentAccuracy are holdout accuracies.
+	CandidateAccuracy float64
+	IncumbentAccuracy float64
+	// Holdout is how many examples the decision rests on.
+	Holdout int
+	// Margin is the margin the decision used.
+	Margin float64
+	// Promote is the verdict: candidate >= incumbent - margin on a non-empty
+	// holdout.
+	Promote bool
+}
+
+// accuracyOn scores a framework on a raw (unscaled) dataset. The framework
+// must be owned by the caller's goroutine (Predict is not goroutine-safe).
+func accuracyOn(fw *core.Framework, ds *dataset.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	hits := 0
+	for _, s := range ds.Samples {
+		if class, _ := fw.Predict(window.Matrix(s.Vectors)); class == s.Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(ds.Len())
+}
+
+// evaluateGate compares a freshly trained candidate against the incumbent on
+// a shared holdout neither trained on.
+func evaluateGate(candidate, incumbent *core.Framework, holdout *dataset.Dataset, margin float64) GateResult {
+	g := GateResult{
+		CandidateAccuracy: accuracyOn(candidate, holdout),
+		IncumbentAccuracy: accuracyOn(incumbent, holdout),
+		Holdout:           holdout.Len(),
+		Margin:            margin,
+	}
+	g.Promote = g.Holdout > 0 && g.CandidateAccuracy >= g.IncumbentAccuracy-margin
+	return g
+}

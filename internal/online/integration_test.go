@@ -1,0 +1,71 @@
+package online
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSmokeEpisodeEndToEnd runs the full continuous-learning episode twice
+// with the same seed and pins the whole contract at once:
+//
+//   - the healthy stream trips nothing (asserted inside SmokeEpisode);
+//   - the fault-injected stream trips drift, retrains, and promotes through
+//     the server's hot-reload while concurrent clients keep predicting with
+//     zero hard failures;
+//   - the forced-reject phase trains a candidate, rejects it, and leaves
+//     the served framework untouched (rollback);
+//   - both runs make identical drift decisions and promote bit-identical
+//     weights (run under -race this also exercises the loop/server
+//     concurrency boundary).
+func TestSmokeEpisodeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full episode in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	run := func() *SmokeResult {
+		t.Helper()
+		res, err := SmokeEpisode(ctx, SmokeConfig{Seed: 42, Log: t.Logf})
+		if err != nil {
+			t.Fatalf("smoke episode: %v (timeline so far: %v)", err, res)
+		}
+		return res
+	}
+	a := run()
+
+	if a.Promotions == 0 {
+		t.Fatal("no promotions")
+	}
+	if a.Rejections == 0 {
+		t.Fatal("no rejections")
+	}
+	if a.Retrains != a.DriftTrips || a.Retrains < a.Promotions+a.Rejections {
+		t.Fatalf("inconsistent counts: %+v", a)
+	}
+	if a.HammerErr != 0 {
+		t.Fatalf("%d concurrent predictions failed hard during hot-reloads", a.HammerErr)
+	}
+	if a.HammerOK == 0 {
+		t.Fatal("no concurrent predictions answered during hot-reloads")
+	}
+	if len(a.PromotedWeights) == 0 {
+		t.Fatal("no promoted weight snapshot")
+	}
+	if a.TrainAccuracy < 0.7 {
+		t.Fatalf("incumbent too weak to make the episode meaningful: %.3f", a.TrainAccuracy)
+	}
+
+	b := run()
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatalf("same-seed decision timelines diverged:\n%v\n%v", a.Timeline, b.Timeline)
+	}
+	if !reflect.DeepEqual(a.PromotedWeights, b.PromotedWeights) {
+		t.Fatal("same-seed promoted weights diverged")
+	}
+	if a.Promotions != b.Promotions || a.Rejections != b.Rejections || a.Rollbacks != b.Rollbacks {
+		t.Fatalf("same-seed counts diverged: %+v vs %+v", a, b)
+	}
+}

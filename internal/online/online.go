@@ -1,0 +1,337 @@
+// Package online is the continuous-learning pipeline around a serving
+// framework: it watches the live window stream for distribution drift and
+// prediction-quality decay, keeps a bounded reservoir of delayed-labeled
+// examples, retrains a candidate warm-started from the incumbent's weights
+// when drift trips, and promotes the candidate through the serving layer's
+// atomic hot-reload only if it clears an accuracy gate on a holdout neither
+// model trained on — otherwise the incumbent keeps serving (rollback).
+//
+// Everything downstream of the window stream is deterministic: the example
+// reservoir, the drift statistics, the holdout split, and the warm-started
+// retrain are all seeded, so two same-seed replays of the same stream make
+// identical drift decisions and promote bit-identical weights.
+//
+// Ownership: the serving layer owns the framework it serves (its
+// Predict/PredictBatch reuse scratch and are funneled through one batcher
+// goroutine), so the Loop never touches it. The Loop holds a private
+// evaluation clone of the incumbent for labeling and gate scoring, hands a
+// fresh candidate to the promoter on promotion, and re-clones it for its own
+// use. The Loop itself is single-goroutine: feed it from one place.
+package online
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"quanterference/internal/core"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/obs"
+)
+
+// Promoter is where gated candidates go — the programmatic surface of
+// serve.Server (Framework / ReloadFramework).
+type Promoter interface {
+	// Framework returns the currently served framework. The Loop only reads
+	// its identity (rollback verification); it never predicts with it.
+	Framework() *core.Framework
+	// ReloadFramework atomically swaps the served framework; ownership of the
+	// argument transfers to the promoter. An error means the swap was refused
+	// and the old framework still serves.
+	ReloadFramework(fw *core.Framework) error
+}
+
+// Config tunes the Loop. The zero value is usable everywhere except
+// RefAccuracy, which should carry the incumbent's training holdout accuracy
+// (0 leaves the quality-decay signal disabled until the first promotion).
+type Config struct {
+	// Seed drives every stochastic choice (reservoir, splits, retrain
+	// shuffling); same seed + same stream = same decisions and weights.
+	Seed int64
+	// RefAccuracy is the incumbent's holdout accuracy at training time — the
+	// baseline the quality-decay drift signal compares against.
+	RefAccuracy float64
+	// BufferCap bounds the labeled-example reservoir (default 256).
+	BufferCap int
+	// MinExamples is how many buffered examples a retrain needs; drift trips
+	// below it stay pending until enough labels arrive (default 32).
+	MinExamples int
+	// Drift tunes the detector, Gate the promotion gate, Train the retrain
+	// (epochs, LR, Workers — warm starts reuse the incumbent architecture).
+	Drift DriftConfig
+	Gate  GateConfig
+	Train ml.TrainConfig
+	// Sink receives the loop's counters and histograms. Nil allocates a
+	// private sink so Stats always works.
+	Sink *obs.Sink
+}
+
+func (c *Config) applyDefaults() {
+	if c.BufferCap == 0 {
+		c.BufferCap = 256
+	}
+	if c.MinExamples == 0 {
+		c.MinExamples = 32
+	}
+	c.Gate.applyDefaults()
+	if c.Sink == nil {
+		c.Sink = obs.New()
+	}
+}
+
+// Action is what a Step did.
+type Action int
+
+const (
+	// ActionNone: healthy, or drift pending more labeled examples.
+	ActionNone Action = iota
+	// ActionPromote: a retrained candidate cleared the gate and now serves.
+	ActionPromote
+	// ActionReject: a candidate was trained and discarded (gate failure or
+	// refused reload); the incumbent keeps serving.
+	ActionReject
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionPromote:
+		return "promote"
+	case ActionReject:
+		return "reject"
+	default:
+		return "none"
+	}
+}
+
+// Decision is one Step's outcome.
+type Decision struct {
+	// Window is the stream position, filled in by Replay (-1 from a bare
+	// Step).
+	Window int
+	// Action is the verdict; Score the drift evaluation behind it.
+	Action Action
+	Score  Score
+	// Gate and CandidateWeights are set when a retrain ran: the gate verdict
+	// and the candidate's bit-exact weight snapshot (the determinism tests
+	// compare these across same-seed runs).
+	Gate             *GateResult
+	CandidateWeights [][]float64
+	// Rollback marks a promotion the promoter refused (the candidate cleared
+	// the gate but the reload failed); the incumbent was kept.
+	Rollback bool
+}
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	if d.Gate == nil {
+		if d.Score.Drifted {
+			return fmt.Sprintf("w%d none (drift %q pending examples)", d.Window, d.Score.Reason)
+		}
+		return fmt.Sprintf("w%d none", d.Window)
+	}
+	s := fmt.Sprintf("w%d %s (drift %q, cand %.3f vs inc %.3f on %d held out, margin %g)",
+		d.Window, d.Action, d.Score.Reason,
+		d.Gate.CandidateAccuracy, d.Gate.IncumbentAccuracy, d.Gate.Holdout, d.Gate.Margin)
+	if d.Rollback {
+		s += " [rollback: reload refused]"
+	}
+	return s
+}
+
+// Loop is the continuous-learning controller. Not goroutine-safe: one
+// goroutine feeds windows/labels and calls Step; the promoter it drives may
+// serve concurrently.
+type Loop struct {
+	cfg      Config
+	promoter Promoter
+
+	// incumbent is the Loop's private evaluation clone of whatever the
+	// promoter serves: used for labeling outcomes and gate scoring without
+	// touching the served instance.
+	incumbent *core.Framework
+	refAcc    float64
+	det       *Detector
+	buf       *Buffer
+	retrains  int
+
+	mWindows    *obs.Counter
+	mLabeled    *obs.Counter
+	mDriftTrips *obs.Counter
+	mRetrains   *obs.Counter
+	mPromotions *obs.Counter
+	mRejections *obs.Counter
+	mRollbacks  *obs.Counter
+	gBuffer     *obs.Gauge
+	hDriftFrac  *obs.Histogram
+	hRollAcc    *obs.Histogram
+	hGateAcc    *obs.Histogram
+	hRetrainNS  *obs.Histogram
+}
+
+// NewLoop builds the controller around a promoter that is already serving an
+// incumbent. The Loop clones that incumbent for private evaluation, so the
+// promoter may keep serving it concurrently.
+func NewLoop(p Promoter, cfg Config) (*Loop, error) {
+	cfg.applyDefaults()
+	inc, err := p.Framework().Clone()
+	if err != nil {
+		return nil, fmt.Errorf("online: cloning incumbent: %w", err)
+	}
+	l := &Loop{
+		cfg:       cfg,
+		promoter:  p,
+		incumbent: inc,
+		refAcc:    cfg.RefAccuracy,
+		det:       NewDetector(inc.Scaler, cfg.RefAccuracy, cfg.Drift),
+		buf:       NewBuffer(cfg.BufferCap, cfg.Seed^0xb0ffe4),
+
+		mWindows:    cfg.Sink.Counter("online", "", "windows"),
+		mLabeled:    cfg.Sink.Counter("online", "", "labeled"),
+		mDriftTrips: cfg.Sink.Counter("online", "", "drift_trips"),
+		mRetrains:   cfg.Sink.Counter("online", "", "retrains"),
+		mPromotions: cfg.Sink.Counter("online", "", "promotions"),
+		mRejections: cfg.Sink.Counter("online", "", "rejections"),
+		mRollbacks:  cfg.Sink.Counter("online", "", "rollbacks"),
+		gBuffer:     cfg.Sink.Gauge("online", "", "buffer_fill"),
+		hDriftFrac:  cfg.Sink.Histogram("online", "", "feature_drift_frac", obs.UnitBuckets()),
+		hRollAcc:    cfg.Sink.Histogram("online", "", "rolling_accuracy", obs.UnitBuckets()),
+		hGateAcc:    cfg.Sink.Histogram("online", "", "gate_candidate_accuracy", obs.UnitBuckets()),
+		hRetrainNS:  cfg.Sink.Histogram("online", "", "retrain_ns", obs.TimeBuckets()),
+	}
+	return l, nil
+}
+
+// Stats snapshots the loop's metrics.
+func (l *Loop) Stats() *obs.Snapshot { return l.cfg.Sink.Snapshot() }
+
+// Incumbent returns the Loop's private evaluation clone of the serving
+// model. Callers may Predict on it only from the Loop's goroutine.
+func (l *Loop) Incumbent() *core.Framework { return l.incumbent }
+
+// BufferLen is the resident labeled-example count.
+func (l *Loop) BufferLen() int { return l.buf.Len() }
+
+// SetGateMargin adjusts the promotion gate between steps — the knob the
+// rollback drill uses to force-reject the next candidate (see
+// GateConfig.Margin).
+func (l *Loop) SetGateMargin(m float64) { l.cfg.Gate.Margin = m }
+
+// OfferWindow feeds one live window into the drift detector's distribution
+// stream.
+func (l *Loop) OfferWindow(mat window.Matrix) {
+	l.det.ObserveWindow(mat)
+	l.mWindows.Inc()
+}
+
+// OfferLabeled feeds one delayed-labeled window: the example enters the
+// retraining reservoir, and the incumbent's prediction on it feeds the
+// quality-decay drift signal. ex.Label is derived from ex.Degradation under
+// the incumbent's bins.
+func (l *Loop) OfferLabeled(ex Example) {
+	ex.Label = l.incumbent.Bins.Label(ex.Degradation)
+	l.buf.Offer(ex)
+	l.gBuffer.Set(float64(l.buf.Len()))
+
+	class, probs := l.incumbent.Predict(ex.Matrix)
+	ce := -math.Log(math.Max(probs[ex.Label], 1e-12))
+	l.det.ObserveLabeled(class == ex.Label, ce)
+	l.mLabeled.Inc()
+}
+
+// Step evaluates drift and, when it trips with enough buffered examples,
+// runs the full retrain → gate → promote/reject round. The error path is
+// infrastructure only (cancellation, clone failure); gate rejections and
+// refused reloads are reported in the Decision, not as errors.
+func (l *Loop) Step(ctx context.Context) (Decision, error) {
+	score := l.det.Score()
+	l.hDriftFrac.Observe(score.FeatureFrac)
+	if score.Labeled > 0 {
+		l.hRollAcc.Observe(score.RollingAccuracy)
+	}
+	d := Decision{Window: -1, Action: ActionNone, Score: score}
+	if !score.Drifted || l.buf.Len() < l.cfg.MinExamples {
+		return d, nil
+	}
+	l.mDriftTrips.Inc()
+
+	start := time.Now()
+	candidate, gate, err := l.retrain(ctx)
+	l.hRetrainNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return d, err
+	}
+	l.mRetrains.Inc()
+	d.Gate = &gate
+	d.CandidateWeights = candidate.ExportWeights()
+
+	if !gate.Promote {
+		l.mRejections.Inc()
+		d.Action = ActionReject
+		// Reset starts a cooldown: the detector re-accumulates from scratch
+		// before it can trip again, so a rejected candidate is not retried
+		// on the very next window.
+		l.det.Reset(l.incumbent.Scaler, l.refAcc)
+		return d, nil
+	}
+
+	// Clone before handing over: ownership of candidate transfers to the
+	// promoter, and the Loop needs its own evaluation copy.
+	next, err := candidate.Clone()
+	if err != nil {
+		return d, fmt.Errorf("online: cloning candidate: %w", err)
+	}
+	if rerr := l.promoter.ReloadFramework(candidate); rerr != nil {
+		// Rollback: the promoter refused the swap, the incumbent still
+		// serves, and the loop keeps evaluating against it.
+		l.mRollbacks.Inc()
+		l.mRejections.Inc()
+		d.Action = ActionReject
+		d.Rollback = true
+		l.det.Reset(l.incumbent.Scaler, l.refAcc)
+		return d, nil
+	}
+	l.incumbent = next
+	l.refAcc = gate.CandidateAccuracy
+	l.mPromotions.Inc()
+	d.Action = ActionPromote
+	l.det.Reset(l.incumbent.Scaler, l.refAcc)
+	return d, nil
+}
+
+// retrain trains a warm-started candidate on the reservoir (minus the gate
+// holdout) and scores it against the incumbent.
+func (l *Loop) retrain(ctx context.Context) (*core.Framework, GateResult, error) {
+	l.retrains++
+	// A fresh seed per round keeps rounds independent while staying a pure
+	// function of (Config.Seed, round number).
+	seed := l.cfg.Seed ^ int64(l.retrains)*0x9e3779b9
+
+	nTargets, nFeat := l.incumbent.Dims()
+	names := window.FeatureNames()
+	if len(names) != nFeat {
+		// Non-standard feature width (ablations, tests): the names only fix
+		// the dataset's width, so synthesize them.
+		names = make([]string, nFeat)
+		for i := range names {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+	}
+	ds := l.buf.Dataset(names, nTargets, l.incumbent.Classes())
+	trainDS, holdout := ds.Split(l.cfg.Gate.HoldFrac, seed^0x60a7)
+	if trainDS.Len() == 0 || holdout.Len() == 0 {
+		return nil, GateResult{}, fmt.Errorf("online: degenerate holdout split (%d train / %d held out of %d)",
+			trainDS.Len(), holdout.Len(), ds.Len())
+	}
+
+	cfg := core.FrameworkConfig{Seed: seed, Train: l.cfg.Train}
+	cfg.Train.Seed = seed ^ 0x7e57
+	candidate, _, err := core.TrainFrameworkCtx(ctx, trainDS, cfg, core.WithWarmStart(l.incumbent))
+	if err != nil {
+		return nil, GateResult{}, fmt.Errorf("online: retrain: %w", err)
+	}
+	gate := evaluateGate(candidate, l.incumbent, holdout, l.cfg.Gate.Margin)
+	l.hGateAcc.Observe(gate.CandidateAccuracy)
+	return candidate, gate, nil
+}

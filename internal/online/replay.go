@@ -1,0 +1,58 @@
+package online
+
+import (
+	"context"
+	"sort"
+
+	"quanterference/internal/core"
+	"quanterference/internal/label"
+	"quanterference/internal/monitor/window"
+)
+
+// Stream is a window sequence with its (delayed) ground truth — what a
+// deployment would receive live, reconstructed from a finished simulation
+// run so episodes are replayable and deterministic.
+type Stream struct {
+	// Windows maps window index to its assembled matrix.
+	Windows map[int]window.Matrix
+	// Degradations maps window index to its measured slowdown (windows with
+	// too few matched operations are absent, exactly as in live labeling).
+	Degradations map[int]float64
+}
+
+// StreamFromRun labels a run's windows against a baseline labeler.
+func StreamFromRun(res *core.RunResult, lab *label.Labeler) Stream {
+	return Stream{Windows: res.Windows, Degradations: lab.Degradations(res.Records)}
+}
+
+// Replay feeds the stream through the loop in ascending window order,
+// modeling label latency: window i's matrix is offered immediately, its
+// label only once the stream has advanced delay windows past it. Step runs
+// after every window; the returned decisions parallel the stream's windows.
+func (l *Loop) Replay(ctx context.Context, s Stream, delay int) ([]Decision, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	idxs := make([]int, 0, len(s.Windows))
+	for idx := range s.Windows {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+
+	out := make([]Decision, 0, len(idxs))
+	for _, idx := range idxs {
+		l.OfferWindow(s.Windows[idx])
+		if deg, ok := s.Degradations[idx-delay]; ok {
+			if mat, ok := s.Windows[idx-delay]; ok {
+				l.OfferLabeled(Example{Window: idx - delay, Matrix: mat, Degradation: deg})
+			}
+		}
+		d, err := l.Step(ctx)
+		if err != nil {
+			return out, err
+		}
+		d.Window = idx
+		out = append(out, d)
+	}
+	return out, nil
+}

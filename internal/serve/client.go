@@ -51,6 +51,30 @@ func (c *Client) get(ctx context.Context, path string, out interface{}) error {
 	return c.do(req, out)
 }
 
+// OverloadedError is the client-side form of a 503 shed by the server's
+// backpressure (ErrOverloaded) or shutdown (ErrShuttingDown) path. It
+// unwraps to the matching server sentinel, so errors.Is(err, ErrOverloaded)
+// works across the HTTP boundary, and carries the server's retry-after hint.
+type OverloadedError struct {
+	// RetryAfter is the server's suggested backoff before retrying.
+	RetryAfter time.Duration
+	// ShuttingDown distinguishes a draining server (don't retry the same
+	// instance) from transient queue pressure (do retry).
+	ShuttingDown bool
+	msg          string
+}
+
+func (e *OverloadedError) Error() string { return e.msg }
+
+// Unwrap makes errors.Is match ErrOverloaded (or ErrShuttingDown when the
+// server was draining rather than shedding).
+func (e *OverloadedError) Unwrap() error {
+	if e.ShuttingDown {
+		return ErrShuttingDown
+	}
+	return ErrOverloaded
+}
+
 func (c *Client) do(req *http.Request, out interface{}) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -60,6 +84,23 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			if resp.StatusCode == http.StatusServiceUnavailable &&
+				(e.Code == codeOverloaded || e.Code == codeShuttingDown) {
+				retry := time.Duration(e.RetryAfterSeconds * float64(time.Second))
+				if retry <= 0 {
+					retry = retryAfterSeconds * time.Second
+				}
+				return &OverloadedError{
+					RetryAfter:   retry,
+					ShuttingDown: e.Code == codeShuttingDown,
+					msg: fmt.Sprintf("serve: %s %s: %s (HTTP %d, retry after %v)",
+						req.Method, req.URL.Path, e.Error, resp.StatusCode, retry),
+				}
+			}
+			if e.Code == codeBadInput {
+				return fmt.Errorf("%w: %s %s: %s (HTTP %d)",
+					ErrBadInput, req.Method, req.URL.Path, e.Error, resp.StatusCode)
+			}
 			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("serve: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)

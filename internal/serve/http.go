@@ -37,13 +37,33 @@ type Health struct {
 	Thresholds []float64 `json:"thresholds"`
 }
 
+// retryAfterSeconds is the backoff hint attached to 503 responses (body and
+// Retry-After header): the queue drains within one batch window at healthy
+// load, so one second is a conservative round number.
+const retryAfterSeconds = 1
+
 // reloadRequest optionally overrides the reload path.
 type reloadRequest struct {
 	Path string `json:"path"`
 }
 
+// Error codes carried in error response bodies so typed clients can map an
+// HTTP failure back to the server-side sentinel without parsing prose.
+const (
+	codeOverloaded   = "overloaded"
+	codeShuttingDown = "shutting_down"
+	codeBadInput     = "bad_input"
+)
+
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code names the sentinel behind the failure (one of the code*
+	// constants); empty for untyped errors.
+	Code string `json:"code,omitempty"`
+	// RetryAfterSeconds hints when a shed (503) request is worth retrying —
+	// the body-level mirror of the Retry-After header, so clients that only
+	// see the decoded JSON still get the hint.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // Handler returns the server's HTTP API:
@@ -80,14 +100,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	class, probs, err := s.Predict(r.Context(), window.Matrix(req.Matrix))
 	if err != nil {
 		status := http.StatusInternalServerError
+		body := errorResponse{Error: err.Error()}
 		switch {
 		case errors.Is(err, ErrBadInput):
 			status = http.StatusBadRequest
-		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShuttingDown):
+			body.Code = codeBadInput
+		case errors.Is(err, ErrOverloaded):
 			status = http.StatusServiceUnavailable
+			body.Code = codeOverloaded
+			body.RetryAfterSeconds = retryAfterSeconds
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrShuttingDown):
+			status = http.StatusServiceUnavailable
+			body.Code = codeShuttingDown
+			body.RetryAfterSeconds = retryAfterSeconds
 			w.Header().Set("Retry-After", "1")
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeJSON(w, status, body)
 		return
 	}
 	fw := s.fw.Load()

@@ -217,6 +217,30 @@ func (s *Server) Reload(path string) error {
 	if err != nil {
 		return fmt.Errorf("serve: reload %s: %w", path, err)
 	}
+	return s.ReloadFramework(fw)
+}
+
+// ReloadFramework atomically swaps in an in-memory framework — the
+// programmatic sibling of Reload's file-based path (SIGHUP, POST
+// /admin/reload), used by the continuous-learning loop (internal/online) to
+// promote a gated candidate without a disk round-trip. Like Reload, the swap
+// never disturbs in-flight requests: batches already cut keep the framework
+// pointer they loaded, and each Framework owns its own scratch.
+//
+// Ownership of fw transfers to the server; the caller must not call its
+// Predict/PredictBatch afterwards (clone first if it needs an evaluation
+// copy). A framework whose input shape differs from the currently served one
+// is rejected, so a bad candidate can never strand the batcher mid-stream.
+func (s *Server) ReloadFramework(fw *core.Framework) error {
+	if fw == nil {
+		return errors.New("serve: reload of nil framework")
+	}
+	oldT, oldF := s.fw.Load().Dims()
+	newT, newF := fw.Dims()
+	if oldT != newT || oldF != newF {
+		return fmt.Errorf("serve: reload shape %dx%d does not match served %dx%d",
+			newT, newF, oldT, oldF)
+	}
 	s.fw.Store(fw)
 	s.mReloads.Inc()
 	return nil

@@ -154,6 +154,9 @@ var (
 	ErrAllVariantsFailed  = core.ErrAllVariantsFailed
 	ErrEmptyDataset       = core.ErrEmptyDataset
 	ErrBadFrameworkFile   = core.ErrBadFrameworkFile
+	// ErrWarmStartMismatch marks a WithWarmStart framework whose shape does
+	// not match the dataset being retrained on.
+	ErrWarmStartMismatch = core.ErrWarmStartMismatch
 	// ErrCanceled marks errors from the *Ctx entry points whose context was
 	// done; the error also matches the context's own error (context.Canceled
 	// or context.DeadlineExceeded).
@@ -169,6 +172,12 @@ func WithBins(b Bins) Option                    { return core.WithBins(b) }
 func WithMinOpsPerWindow(n int) Option          { return core.WithMinOpsPerWindow(n) }
 func WithBaselineSamples(on bool) Option        { return core.WithBaselineSamples(on) }
 func WithCollectReport(r *CollectReport) Option { return core.WithCollectReport(r) }
+
+// WithWarmStart makes TrainFrameworkE/TrainFrameworkCtx retrain incrementally
+// from an incumbent framework (cloned weights, reused scaler and bins) instead
+// of fresh random weights — the continuous-learning loop's retraining mode
+// (internal/online).
+func WithWarmStart(fw *Framework) Option { return core.WithWarmStart(fw) }
 
 // NewCluster builds a fresh simulated cluster.
 func NewCluster(topo Topology, cfg Config) *Cluster { return core.NewCluster(topo, cfg) }
