@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ tier1: build test
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs, online's
 # loop promoting through the live server under concurrent predictions).
-verify: docs-check serve-smoke online-smoke
+verify: docs-check serve-smoke online-smoke profile-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online
@@ -68,6 +68,18 @@ serve-smoke:
 # forced rejection with rollback.
 online-smoke:
 	$(GO) run ./cmd/quantonline -smoke
+
+# profile-smoke runs the cross-profile transfer study end to end at tiny
+# scale: per-profile datasets on three hardware backends, in-domain training,
+# zero-shot and warm-started fine-tune transfer, plus a per-profile mini
+# interference matrix — an acceptance probe for the HardwareProfile API.
+profile-smoke:
+	@mkdir -p out/profile-smoke
+	$(GO) run ./cmd/figures -only transfer -scale 0.08 -epochs 6 \
+		-out out/profile-smoke
+	@grep -q 'zero_shot' out/profile-smoke/transfer.csv || \
+		{ echo "profile-smoke: transfer.csv missing zero-shot rows"; exit 1; }
+	@echo "profile-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -289,6 +289,32 @@ func BenchmarkRun(b *testing.B) {
 	b.ReportMetric(float64(reqs)/float64(b.N), "diskreqs/op")
 }
 
+// BenchmarkRunProfiles measures the same default run under every named
+// hardware profile — the per-backend cost of the HardwareProfile API. The
+// paper sub-benchmark should match BenchmarkRun; nvme/fastnic/burstbuffer
+// quantify how much simulated time (and host work) each backend shifts.
+func BenchmarkRunProfiles(b *testing.B) {
+	for _, name := range quant.ProfileNames() {
+		p, err := quant.ProfileByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := benchScenario()
+				s.Hardware = p
+				res, err := quant.RunE(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Finished {
+					b.Fatal("run truncated")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunTraced is the same run with span collection enabled, bounding
 // the cost of -trace-events.
 func BenchmarkRunTraced(b *testing.B) {

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	datagen -dataset io500|dlio|enzo|amrex|openpmd [-scale 1.0] [-window 1]
-//	        [-seed 42] [-faults disk-slow:ost0:10:30:4] [-rpc-timeout 0.5]
+//	        [-seed 42] [-profile paper|nvme|fastnic|burstbuffer]
+//	        [-faults disk-slow:ost0:10:30:4] [-rpc-timeout 0.5]
 //	        -out dataset.json
+//
+// -profile selects the hardware profile every collection run simulates; the
+// dataset header records it, so training tools can tell datasets from
+// different hardware apart.
 //
 // -faults injects the same deterministic degraded-mode episodes into every
 // collection run, generating training data from a reproducibly sick cluster.
@@ -18,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
 	"quanterference/internal/fault"
+	"quanterference/internal/hw"
 	"quanterference/internal/sim"
 	"quanterference/internal/workload/apps"
 )
@@ -36,17 +43,24 @@ var (
 	csvOut    = flag.String("csv", "", "also write a flat CSV view to this path")
 	faultsArg = flag.String("faults", "", "comma-separated fault episodes injected into every run, each kind:target:start:duration[:severity] with times in seconds")
 	rpcTO     = flag.Float64("rpc-timeout", 0, "client bulk-RPC timeout in seconds (0 = no timeouts)")
+	profile   = flag.String("profile", "", "hardware profile for every run: "+strings.Join(hw.Names(), ", ")+" (default paper)")
 )
 
 func main() {
 	flag.Parse()
 	var report core.CollectReport
+	if *profile != "" {
+		if _, err := hw.ByName(*profile); err != nil {
+			fatal(err)
+		}
+	}
 	cfg := experiments.DatasetConfig{
 		Scale:      experiments.Scale(*scale),
 		Window:     sim.Time(*window) * sim.Second,
 		Seed:       *seed,
 		RPCTimeout: sim.Seconds(*rpcTO),
 		Report:     &report,
+		Profile:    *profile,
 	}
 	if *faultsArg != "" {
 		specs, err := fault.ParseSpecs(*faultsArg)
@@ -76,8 +90,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("dataset %s: %d samples, class balance %v, %d targets x %d features -> %s\n",
-		*which, ds.Len(), ds.ClassCounts(), ds.NTargets, len(ds.FeatureNames), *out)
+	prof := ds.Profile
+	if prof == "" {
+		prof = "paper"
+	}
+	fmt.Printf("dataset %s (profile %s): %d samples, class balance %v, %d targets x %d features -> %s\n",
+		*which, prof, ds.Len(), ds.ClassCounts(), ds.NTargets, len(ds.FeatureNames), *out)
 	if len(report.Skipped) > 0 {
 		fmt.Printf("variant runs: %d/%d completed, %d skipped:\n",
 			report.Completed, report.Variants, len(report.Skipped))

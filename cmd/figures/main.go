@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation]
+//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer]
 //	        [-scale 1.0] [-epochs 60] [-seed 42] [-out out/]
-//	        [-pprof localhost:6060]
+//	        [-profiles paper,nvme,fastnic] [-pprof localhost:6060]
 //
 // -pprof serves net/http/pprof profiles and a /metrics runtime-metrics dump
 // on the given address while the experiments run.
@@ -29,12 +29,13 @@ import (
 )
 
 var (
-	only   = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness)")
-	scale  = flag.Float64("scale", 1.0, "workload volume scale factor")
-	epochs = flag.Int("epochs", 60, "training epochs for model experiments")
-	seed   = flag.Int64("seed", 42, "root random seed")
-	outDir = flag.String("out", "out", "output directory for .txt/.csv files")
-	pprofA = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer)")
+	scale    = flag.Float64("scale", 1.0, "workload volume scale factor")
+	epochs   = flag.Int("epochs", 60, "training epochs for model experiments")
+	seed     = flag.Int64("seed", 42, "root random seed")
+	outDir   = flag.String("out", "out", "output directory for .txt/.csv files")
+	profiles = flag.String("profiles", "paper,nvme,fastnic", "comma-separated hardware profiles for the transfer study")
+	pprofA   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 )
 
 func main() {
@@ -151,6 +152,17 @@ func main() {
 		step("Robustness: accuracy/F1 across seeds", func() {
 			r := experiments.Robustness(io500ds, label.BinaryBins(), *epochs, 5, *seed)
 			emit("robustness", r.Render(), r.CSV())
+		})
+	}
+	if want("transfer") {
+		step("Transfer: cross-profile model transfer", func() {
+			r := experiments.TransferStudy(experiments.TransferConfig{
+				Profiles: strings.Split(*profiles, ","),
+				Scale:    s,
+				Epochs:   *epochs,
+				Seed:     *seed,
+			})
+			emit("transfer", r.Render(), r.CSV())
 		})
 	}
 	if want("extensions") {

@@ -97,6 +97,12 @@ func CollectDatasetCtx(ctx context.Context, base Scenario, variants []Variant, c
 	o := applyOptions(opts)
 	o.applyCollector(&cfg)
 	cfg.applyDefaults()
+	// Resolve the hardware option here (not just in RunCtx): applyDefaults
+	// pins Hardware to the paper profile, which would mask the option on the
+	// per-variant RunCtx calls below.
+	if o.hardware != nil && base.Hardware.IsZero() {
+		base.Hardware = *o.hardware
+	}
 	base.applyDefaults()
 	base.Interference = nil
 
@@ -111,6 +117,7 @@ func CollectDatasetCtx(ctx context.Context, base Scenario, variants []Variant, c
 	labeler := label.New(baseRes.Records, base.WindowSize, cfg.MinOpsPerWindow)
 
 	ds := dataset.New(window.FeatureNames(), baseRes.NTargets, cfg.Bins.Classes())
+	ds.Profile = base.Hardware.DisplayName()
 
 	// samplesFor builds one run's samples in ascending window order, so the
 	// dataset's sample order — and hence every seeded split — is

@@ -14,7 +14,9 @@ import (
 	"context"
 	"fmt"
 
+	"quanterference/internal/bb"
 	"quanterference/internal/fault"
+	"quanterference/internal/hw"
 	"quanterference/internal/lustre"
 	"quanterference/internal/monitor/clientmon"
 	"quanterference/internal/monitor/servermon"
@@ -34,10 +36,18 @@ type Cluster struct {
 	Sink *obs.Sink
 }
 
-// NewCluster builds a fresh engine, network, and file system.
+// NewCluster builds a fresh engine, network, and file system with the
+// default (paper) fabric parameters.
 func NewCluster(topo lustre.Topology, cfg lustre.Config) *Cluster {
+	return NewClusterNet(topo, cfg, netsim.Config{})
+}
+
+// NewClusterNet is NewCluster with an explicit fabric configuration — the
+// threading point for a hardware profile's NIC latency. The zero
+// netsim.Config is exactly NewCluster.
+func NewClusterNet(topo lustre.Topology, cfg lustre.Config, ncfg netsim.Config) *Cluster {
 	eng := sim.NewEngine()
-	net := netsim.New(eng, netsim.Config{})
+	net := netsim.New(eng, ncfg)
 	fs := lustre.New(eng, net, topo, cfg)
 	return &Cluster{Eng: eng, Net: net, FS: fs}
 }
@@ -72,8 +82,18 @@ type InterferenceSpec struct {
 // Scenario is one measurement run: a target workload, optional interference,
 // and the monitoring window size.
 type Scenario struct {
-	Topology     lustre.Topology
-	FSConfig     lustre.Config
+	Topology lustre.Topology
+	FSConfig lustre.Config
+	// Hardware selects the storage subsystem the scenario simulates: the
+	// disk model behind every storage target, NIC bandwidth/latency,
+	// optional client burst buffers, and server-side costs. The zero value
+	// (or hw.PaperProfile()) is the paper's testbed, bit-identical to the
+	// pre-profile behaviour. Profile values fill only scenario fields left
+	// at their zero default — an explicit FSConfig entry wins — except
+	// Topology.NICBps, which a profile with Net.NICBps > 0 always
+	// overrides (PaperTopology pins 1 GB/s, so "unset" is not observable
+	// there).
+	Hardware     hw.Profile
 	Target       TargetSpec
 	Interference []InterferenceSpec
 	// WindowSize is the monitor aggregation window (default 1 s).
@@ -94,6 +114,9 @@ type Scenario struct {
 }
 
 func (s *Scenario) applyDefaults() {
+	if s.Hardware.IsZero() {
+		s.Hardware = hw.PaperProfile()
+	}
 	if s.Topology.MDSNode == "" {
 		s.Topology = lustre.PaperTopology()
 	}
@@ -103,6 +126,34 @@ func (s *Scenario) applyDefaults() {
 	if s.MaxTime == 0 {
 		s.MaxTime = 600 * sim.Second
 	}
+	s.applyHardware()
+}
+
+// applyHardware overlays the resolved hardware profile onto the scenario's
+// simulator configuration. Profile values fill only fields still at their
+// zero default, so an explicit FSConfig setting wins over the profile;
+// Net.NICBps > 0 overrides the topology's NIC speed outright (see
+// Scenario.Hardware).
+func (s *Scenario) applyHardware() {
+	p := &s.Hardware
+	if s.FSConfig.Disk == (lustre.Config{}).Disk {
+		s.FSConfig.Disk = p.Disk
+	}
+	if s.FSConfig.MDSOpCPU == 0 {
+		s.FSConfig.MDSOpCPU = p.Server.MDSOpCPU
+	}
+	if s.FSConfig.OSSOpCPU == 0 {
+		s.FSConfig.OSSOpCPU = p.Server.OSSOpCPU
+	}
+	if s.FSConfig.WritebackLimit == 0 {
+		s.FSConfig.WritebackLimit = p.Server.WritebackLimit
+	}
+	if s.FSConfig.InodeCacheEntries == 0 {
+		s.FSConfig.InodeCacheEntries = p.Server.InodeCacheEntries
+	}
+	if p.Net.NICBps > 0 {
+		s.Topology.NICBps = p.Net.NICBps
+	}
 }
 
 // validate checks a defaulted scenario, returning ErrInvalidScenario- or
@@ -111,6 +162,9 @@ func (s *Scenario) applyDefaults() {
 func (s *Scenario) validate() error {
 	if s.Target.Gen == nil || s.Target.Ranks <= 0 || len(s.Target.Nodes) == 0 {
 		return fmt.Errorf("%w: target needs Gen, Ranks > 0, and Nodes", ErrInvalidScenario)
+	}
+	if err := s.Hardware.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
 	}
 	if s.WindowSize <= 0 {
 		return fmt.Errorf("%w: non-positive window size %d ns", ErrInvalidScenario, s.WindowSize)
@@ -237,6 +291,9 @@ func RunE(s Scenario, opts ...Option) (*RunResult, error) {
 // identical to RunE.
 func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error) {
 	o := applyOptions(opts)
+	if o.hardware != nil && s.Hardware.IsZero() {
+		s.Hardware = *o.hardware
+	}
 	s.applyDefaults()
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -245,7 +302,8 @@ func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error)
 	if sink == nil {
 		sink = obs.New()
 	}
-	cl := NewCluster(s.Topology, s.FSConfig).Instrument(sink)
+	cl := NewClusterNet(s.Topology, s.FSConfig,
+		netsim.Config{Latency: s.Hardware.Net.Latency}).Instrument(sink)
 	if len(s.Faults) > 0 {
 		inj := fault.NewInjector(cl.Eng, faultEndpoints(cl))
 		inj.Instrument(sink)
@@ -262,12 +320,34 @@ func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error)
 
 	res := &RunResult{NTargets: cl.FS.NumTargets()}
 
+	// Under a burst-buffer profile every compute node writes through its own
+	// node-local buffer. Buffers are created lazily per node (the sim is
+	// single-threaded and deterministic, so lazy creation is order-stable)
+	// and shared by all ranks — target or interference — on that node.
+	var bbRoute func(node string) func(h *lustre.Handle, off, length int64, done func())
+	if s.Hardware.BB.Enabled {
+		bufs := make(map[string]*bb.Buffer)
+		bbRoute = func(node string) func(h *lustre.Handle, off, length int64, done func()) {
+			buf, ok := bufs[node]
+			if !ok {
+				buf = bb.Attach(cl.Eng, cl.FS.Client(node), bb.Config{
+					Capacity:         s.Hardware.BB.CapacityBytes,
+					IngestBps:        s.Hardware.BB.IngestBps,
+					DrainConcurrency: s.Hardware.BB.DrainConcurrency,
+				})
+				bufs[node] = buf
+			}
+			return buf.Write
+		}
+	}
+
 	var interfRunners []*workload.Runner
 	for i, spec := range s.Interference {
 		spec := spec
 		r := &workload.Runner{
 			FS: cl.FS, Name: fmt.Sprintf("interference%d-%s", i, spec.Gen.Name()),
 			Nodes: spec.Nodes, Ranks: spec.Ranks, Gen: spec.Gen, Loop: true,
+			WriteViaFor: bbRoute,
 		}
 		interfRunners = append(interfRunners, r)
 		if spec.StartAt > 0 {
@@ -280,6 +360,7 @@ func RunCtx(ctx context.Context, s Scenario, opts ...Option) (*RunResult, error)
 	target := &workload.Runner{
 		FS: cl.FS, Name: s.Target.Gen.Name(),
 		Nodes: s.Target.Nodes, Ranks: s.Target.Ranks, Gen: s.Target.Gen,
+		WriteViaFor: bbRoute,
 		OnRecord: func(rec workload.Record) {
 			cm.Record(rec)
 			res.Records = append(res.Records, rec)

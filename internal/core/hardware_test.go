@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/hw"
+	"quanterference/internal/lustre"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+// TestApplyHardwareFillsOnlyZeroFields pins the precedence contract: profile
+// values fill scenario fields left at zero, an explicit FSConfig entry wins,
+// and Net.NICBps always overrides the topology's NIC speed.
+func TestApplyHardwareFillsOnlyZeroFields(t *testing.T) {
+	p := hw.Profile{
+		Name: "test",
+		Net:  hw.NetConfig{NICBps: 5e9},
+		Server: hw.ServerConfig{
+			MDSOpCPU:       400 * sim.Microsecond,
+			WritebackLimit: 8 << 20,
+		},
+	}
+	p.Disk.FlatAccess = 10 * sim.Microsecond
+
+	s := Scenario{Target: smallTarget(), Hardware: p}
+	s.FSConfig.MDSOpCPU = 100 * sim.Microsecond // explicit: must win
+	s.applyDefaults()
+
+	if s.FSConfig.MDSOpCPU != 100*sim.Microsecond {
+		t.Errorf("explicit MDSOpCPU overridden: %v", s.FSConfig.MDSOpCPU)
+	}
+	if s.FSConfig.WritebackLimit != 8<<20 {
+		t.Errorf("profile WritebackLimit not applied: %v", s.FSConfig.WritebackLimit)
+	}
+	if s.FSConfig.Disk.FlatAccess != 10*sim.Microsecond {
+		t.Errorf("profile disk not applied: %+v", s.FSConfig.Disk)
+	}
+	if s.Topology.NICBps != 5e9 {
+		t.Errorf("profile NICBps did not override topology: %v", s.Topology.NICBps)
+	}
+}
+
+// TestExplicitDiskWinsOverProfile pins the other half of fill-if-zero: a
+// scenario that sets FSConfig.Disk itself keeps it even under a disk-bearing
+// profile.
+func TestExplicitDiskWinsOverProfile(t *testing.T) {
+	s := Scenario{Target: smallTarget(), Hardware: hw.NVMeProfile()}
+	s.FSConfig.Disk.RPM = 15000
+	s.applyDefaults()
+	if s.FSConfig.Disk.RPM != 15000 || s.FSConfig.Disk.FlatAccess != 0 {
+		t.Errorf("explicit disk config replaced by profile: %+v", s.FSConfig.Disk)
+	}
+}
+
+// TestZeroScenarioGetsPaperProfile pins the default: applyDefaults resolves
+// a zero Hardware field to the named paper profile (all-zero overrides).
+func TestZeroScenarioGetsPaperProfile(t *testing.T) {
+	s := Scenario{Target: smallTarget()}
+	s.applyDefaults()
+	if s.Hardware != hw.PaperProfile() {
+		t.Fatalf("zero scenario resolved to %+v", s.Hardware)
+	}
+	if s.FSConfig.Disk != (lustre.Config{}).Disk {
+		t.Fatalf("paper profile touched the disk config: %+v", s.FSConfig.Disk)
+	}
+	if s.Topology.NICBps != lustre.PaperNICBps {
+		t.Fatalf("paper profile changed topology NIC: %v", s.Topology.NICBps)
+	}
+}
+
+// TestWithHardwareOption checks the option fills only scenarios that carry no
+// profile of their own.
+func TestWithHardwareOption(t *testing.T) {
+	o := applyOptions([]Option{WithHardware(hw.NVMeProfile())})
+	if o.hardware == nil || o.hardware.Name != "nvme" {
+		t.Fatalf("option did not capture the profile: %+v", o.hardware)
+	}
+
+	res, err := RunE(Scenario{Target: smallTarget()}, WithHardware(hw.FastNICProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("fastnic run truncated")
+	}
+
+	// Explicit Scenario.Hardware wins over the option: the run must behave
+	// like the explicit profile, not the option's.
+	explicit := func(opts ...Option) sim.Time {
+		res, err := RunE(Scenario{Target: smallTarget(), Hardware: hw.PaperProfile()}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	if explicit() != explicit(WithHardware(hw.NVMeProfile())) {
+		t.Fatal("WithHardware overrode an explicit Scenario.Hardware")
+	}
+}
+
+// TestInvalidProfileRejected checks validation surfaces profile errors as
+// ErrInvalidScenario instead of a mid-run panic.
+func TestInvalidProfileRejected(t *testing.T) {
+	s := Scenario{Target: smallTarget()}
+	s.Hardware.Name = "broken"
+	s.Hardware.Net.NICBps = -1
+	if _, err := RunE(s); !errors.Is(err, ErrInvalidScenario) {
+		t.Fatalf("invalid profile: err = %v, want ErrInvalidScenario", err)
+	}
+}
+
+// TestBurstBufferProfileAbsorbsWrites checks the burst-buffer profile routes
+// writes through a node-local buffer: the write-heavy target's client-side
+// latency drops relative to the paper testbed under identical contention.
+func TestBurstBufferProfileAbsorbsWrites(t *testing.T) {
+	run := func(p hw.Profile) sim.Time {
+		res, err := RunE(Scenario{Target: smallTarget(), Hardware: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatal("run truncated")
+		}
+		return res.Duration
+	}
+	paper, buffered := run(hw.PaperProfile()), run(hw.BurstBufferProfile())
+	t.Logf("paper %.2fs, burst buffer %.2fs", sim.ToSeconds(paper), sim.ToSeconds(buffered))
+	if buffered >= paper {
+		t.Fatalf("burst buffer did not speed up the writer: paper %v, bb %v", paper, buffered)
+	}
+}
+
+// TestCollectDatasetRecordsProfile checks the dataset header carries the
+// profile name through collection (option path) and defaults to paper.
+func TestCollectDatasetRecordsProfile(t *testing.T) {
+	base := Scenario{
+		Target: TargetSpec{
+			Gen:   io500.New(io500.IorEasyWrite, io500.Params{Dir: "/p", Ranks: 2, EasyFileBytes: 4 << 20}),
+			Nodes: []string{"c0"},
+			Ranks: 2,
+		},
+	}
+	ds, err := CollectDatasetE(base, nil, CollectorConfig{IncludeBaseline: true},
+		WithHardware(hw.NVMeProfile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Profile != "nvme" {
+		t.Errorf("dataset profile = %q, want nvme", ds.Profile)
+	}
+
+	ds, err = CollectDatasetE(base, nil, CollectorConfig{IncludeBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Profile != "paper" {
+		t.Errorf("default dataset profile = %q, want paper", ds.Profile)
+	}
+}
+
+// TestDatasetProfileRoundTrip checks Save/Load and Merge semantics for the
+// new header field.
+func TestDatasetProfileRoundTrip(t *testing.T) {
+	a := dataset.New([]string{"f"}, 1, 2)
+	a.Profile = "nvme"
+	path := t.TempDir() + "/ds.json"
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile != "nvme" {
+		t.Errorf("loaded profile = %q, want nvme", got.Profile)
+	}
+
+	b := dataset.New([]string{"f"}, 1, 2)
+	b.Profile = "nvme"
+	a.Merge(b)
+	if a.Profile != "nvme" {
+		t.Errorf("same-profile merge changed profile to %q", a.Profile)
+	}
+	c := dataset.New([]string{"f"}, 1, 2)
+	c.Profile = "paper"
+	a.Merge(c)
+	if a.Profile != "mixed" {
+		t.Errorf("cross-profile merge: profile = %q, want mixed", a.Profile)
+	}
+}

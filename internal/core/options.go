@@ -1,6 +1,7 @@
 package core
 
 import (
+	"quanterference/internal/hw"
 	"quanterference/internal/label"
 	"quanterference/internal/obs"
 )
@@ -19,6 +20,7 @@ type options struct {
 	baseline *bool
 	report   *CollectReport
 	warm     *Framework
+	hardware *hw.Profile
 }
 
 func applyOptions(opts []Option) options {
@@ -75,6 +77,17 @@ func WithBaselineSamples(include bool) Option {
 // TrainFrameworkE and TrainFrameworkCtx.
 func WithWarmStart(fw *Framework) Option {
 	return func(o *options) { o.warm = fw }
+}
+
+// WithHardware runs the scenario on the given hardware profile when the
+// scenario itself leaves Scenario.Hardware zero — an explicit
+// Scenario.Hardware wins over the option. Profile parameters merge into the
+// scenario exactly as Scenario.Hardware documents (fill-if-zero, NICBps
+// override). Applies to RunE, RunCtx, CollectDatasetE, and CollectDatasetCtx
+// (where the profile covers the baseline and every variant run, and is
+// recorded in the dataset header).
+func WithHardware(p hw.Profile) Option {
+	return func(o *options) { pp := p; o.hardware = &pp }
 }
 
 // WithCollectReport fills r with per-variant completion accounting after

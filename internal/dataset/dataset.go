@@ -27,10 +27,15 @@ type Sample struct {
 
 // Dataset is a labelled collection with its schema.
 type Dataset struct {
-	FeatureNames []string  `json:"feature_names"`
-	NTargets     int       `json:"n_targets"`
-	Classes      int       `json:"classes"`
-	Samples      []*Sample `json:"samples"`
+	FeatureNames []string `json:"feature_names"`
+	NTargets     int      `json:"n_targets"`
+	Classes      int      `json:"classes"`
+	// Profile names the hardware profile the samples were simulated on
+	// ("paper", "nvme", ...; see internal/hw). Empty on datasets written
+	// before profiles existed — readers treat that as "paper". Merging
+	// datasets from different profiles sets it to "mixed".
+	Profile string    `json:"profile,omitempty"`
+	Samples []*Sample `json:"samples"`
 }
 
 // New creates an empty dataset with the given schema.
@@ -68,7 +73,9 @@ func (d *Dataset) ClassCounts() []int {
 
 // clone returns a dataset with the same schema and no samples.
 func (d *Dataset) clone() *Dataset {
-	return New(d.FeatureNames, d.NTargets, d.Classes)
+	out := New(d.FeatureNames, d.NTargets, d.Classes)
+	out.Profile = d.Profile
+	return out
 }
 
 // Split randomly partitions the samples into train and test sets, reserving
@@ -90,11 +97,15 @@ func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
 	return train, test
 }
 
-// Merge appends all samples of other (schemas must match).
+// Merge appends all samples of other (schemas must match). Merging across
+// hardware profiles marks the result "mixed".
 func (d *Dataset) Merge(other *Dataset) {
 	if other.NTargets != d.NTargets || len(other.FeatureNames) != len(d.FeatureNames) ||
 		other.Classes != d.Classes {
 		panic("dataset: merging incompatible schemas")
+	}
+	if other.Profile != d.Profile {
+		d.Profile = "mixed"
 	}
 	d.Samples = append(d.Samples, other.Samples...)
 }
@@ -144,6 +155,7 @@ func (d *Dataset) Copy() *Dataset {
 // without re-simulating). labelOf maps a degradation level to a class.
 func (d *Dataset) Rebin(classes int, labelOf func(deg float64) int) *Dataset {
 	out := New(d.FeatureNames, d.NTargets, classes)
+	out.Profile = d.Profile
 	for _, s := range d.Samples {
 		c := *s
 		c.Label = labelOf(s.Degradation)
@@ -160,6 +172,7 @@ func (d *Dataset) SelectFeatures(idxs []int) *Dataset {
 		names[i] = d.FeatureNames[f]
 	}
 	out := New(names, d.NTargets, d.Classes)
+	out.Profile = d.Profile
 	for _, s := range d.Samples {
 		c := *s
 		c.Vectors = make([][]float64, len(s.Vectors))

@@ -57,6 +57,13 @@ type Config struct {
 	// TransferBps is the sustained media rate in bytes/second
 	// (default 150 MB/s, typical for 7200 RPM SATA3).
 	TransferBps float64
+	// FlatAccess, when positive, switches the device to a flat-latency
+	// (NVMe-class flash) model: every request costs FlatAccess + transfer
+	// regardless of address, with no seek, no rotational delay, and no RNG
+	// draw — competing streams no longer degenerate into seek-bound access.
+	// RPM/SeekMin/SeekMax are ignored and SeqRequests stays zero (flash has
+	// no head position to hit). 0 (the default) keeps the rotational model.
+	FlatAccess sim.Time
 	// Seed feeds the rotational-position RNG.
 	Seed int64
 }
@@ -195,6 +202,12 @@ func (d *Disk) serviceTime(r *Request) (total, positioning sim.Time) {
 			r.Sector, r.Sectors, d.cfg.TotalSectors))
 	}
 	transfer := sim.Time(float64(r.Sectors*SectorSize) / d.cfg.TransferBps * float64(sim.Second))
+	if d.cfg.FlatAccess > 0 {
+		// Flat-latency device: address-independent access cost, no seek or
+		// rotation. The positioning share is the fixed access time, so the
+		// busy-vs-positioning split the monitors report stays meaningful.
+		return sim.Time(float64(d.cfg.FlatAccess+transfer) * d.slow), d.cfg.FlatAccess
+	}
 	if r.Sector == d.head {
 		// Head already positioned: pure streaming.
 		return sim.Time(float64(transfer) * d.slow), 0

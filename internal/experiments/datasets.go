@@ -39,6 +39,10 @@ type DatasetConfig struct {
 	// across every collection of the dataset build: totals are summed and
 	// skipped variants appended (their indices are per-collection).
 	Report *core.CollectReport
+	// Profile selects the hardware profile every collection run simulates
+	// (a name from hw.Names; default "" = the paper testbed). The dataset
+	// header records it. Unknown names panic.
+	Profile string
 }
 
 func (c *DatasetConfig) applyDefaults() {
@@ -98,9 +102,11 @@ func InterferenceSweep(s Scale) []core.Variant {
 // repeating the sweep Reps times with the OST allocator rotated so the
 // target lands on different storage targets each repetition.
 func collectFor(cfg DatasetConfig, name string, target core.TargetSpec, variants []core.Variant) *dataset.Dataset {
+	profile := resolveProfile(cfg.Profile)
 	var all *dataset.Dataset
 	for rep := 0; rep < cfg.Reps; rep++ {
 		base := core.Scenario{
+			Hardware:   profile,
 			Target:     target,
 			WindowSize: cfg.Window,
 			MaxTime:    cfg.MaxTime,

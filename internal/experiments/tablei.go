@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"quanterference/internal/core"
+	"quanterference/internal/hw"
 	"quanterference/internal/par"
 	"quanterference/internal/plot"
 	"quanterference/internal/sim"
@@ -24,6 +25,13 @@ type TableIConfig struct {
 	TargetRanks int
 	// MaxTime caps each run (default 300 s).
 	MaxTime sim.Time
+	// Profile selects the hardware profile every run simulates (a name from
+	// hw.Names; default "" = the paper testbed). Unknown names panic, like
+	// every other misconfiguration in this package.
+	Profile string
+	// Tasks restricts the matrix to a task subset (default all seven) — the
+	// transfer study uses a trimmed matrix per profile.
+	Tasks []io500.Task
 }
 
 func (c *TableIConfig) applyDefaults() {
@@ -56,7 +64,11 @@ type TableIResult struct {
 // cell is duration(interfered) / duration(standalone).
 func TableI(cfg TableIConfig) *TableIResult {
 	cfg.applyDefaults()
-	tasks := io500.AllTasks()
+	profile := resolveProfile(cfg.Profile)
+	tasks := cfg.Tasks
+	if len(tasks) == 0 {
+		tasks = io500.AllTasks()
+	}
 	res := &TableIResult{
 		Standalone: make([]sim.Time, len(tasks)),
 		Slowdown:   make([][]float64, len(tasks)),
@@ -74,7 +86,7 @@ func TableI(cfg TableIConfig) *TableIResult {
 	// Every cell is an independent simulation: 7 standalone runs plus a
 	// 7x7 grid, fanned out across cores.
 	par.Map(len(tasks), func(i int) {
-		base := core.Run(targetScenario(tasks[i], targetParams, nil, cfg.MaxTime))
+		base := core.Run(targetScenario(tasks[i], targetParams, nil, cfg.MaxTime, profile))
 		if !base.Finished {
 			panic(fmt.Sprintf("experiments: standalone %s exceeded MaxTime", tasks[i]))
 		}
@@ -87,14 +99,15 @@ func TableI(cfg TableIConfig) *TableIResult {
 		interf := tasks[j]
 		specs := IO500Instances(interf, cfg.Instances, cfg.RanksPerInstance,
 			interferenceParams(cfg.Scale), fmt.Sprintf("/bg-%s", interf))
-		run := core.Run(targetScenario(tasks[i], targetParams, specs, cfg.MaxTime))
+		run := core.Run(targetScenario(tasks[i], targetParams, specs, cfg.MaxTime, profile))
 		res.Slowdown[i][j] = float64(run.Duration) / float64(res.Standalone[i])
 	})
 	return res
 }
 
-func targetScenario(task io500.Task, p io500.Params, interf []core.InterferenceSpec, maxTime sim.Time) core.Scenario {
+func targetScenario(task io500.Task, p io500.Params, interf []core.InterferenceSpec, maxTime sim.Time, profile hw.Profile) core.Scenario {
 	return core.Scenario{
+		Hardware: profile,
 		Target: core.TargetSpec{
 			Gen:   io500.New(task, p),
 			Nodes: targetNodes,
@@ -103,6 +116,19 @@ func targetScenario(task io500.Task, p io500.Params, interf []core.InterferenceS
 		Interference: interf,
 		MaxTime:      maxTime,
 	}
+}
+
+// resolveProfile maps a profile name to its hw.Profile, panicking on unknown
+// names ("" is the paper profile).
+func resolveProfile(name string) hw.Profile {
+	if name == "" {
+		return hw.PaperProfile()
+	}
+	p, err := hw.ByName(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return p
 }
 
 // Render draws the matrix like the paper's Table I.

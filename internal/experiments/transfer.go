@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+// TransferConfig controls the cross-profile model-transfer study: how well a
+// model trained on one hardware profile predicts interference on another,
+// zero-shot and after a warm-started fine-tune pass.
+type TransferConfig struct {
+	// Profiles are the hardware profiles under study, by hw.Names name
+	// (default paper, nvme, fastnic). At least two are required for any
+	// cross-profile pair to exist.
+	Profiles []string
+	// Scale shrinks workload volumes (default 1.0).
+	Scale Scale
+	// Window is the monitor aggregation window (default 1 s).
+	Window sim.Time
+	// MaxTime caps each collection run (default 240 s).
+	MaxTime sim.Time
+	// Reps repeats each profile's sweep with rotated OST placement
+	// (default 2 — trimmed against DatasetConfig's 3 because the study
+	// multiplies everything by the profile count).
+	Reps int
+	// Epochs trains each in-domain model (default 40).
+	Epochs int
+	// FineTuneEpochs is the warm-started adaptation pass on the target
+	// profile's data (default 12, a fraction of Epochs — the point of
+	// transfer is paying less than full retraining).
+	FineTuneEpochs int
+	Seed           int64
+	// MatrixTasks is the per-profile mini interference matrix's task subset
+	// (default ior-easy-write, ior-easy-read, mdt-hard-write: one bulk
+	// writer, one bulk reader, one metadata row).
+	MatrixTasks []io500.Task
+}
+
+func (c *TransferConfig) applyDefaults() {
+	if len(c.Profiles) == 0 {
+		c.Profiles = []string{"paper", "nvme", "fastnic"}
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Window == 0 {
+		c.Window = sim.Second
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 240 * sim.Second
+	}
+	if c.Reps == 0 {
+		c.Reps = 2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.FineTuneEpochs == 0 {
+		c.FineTuneEpochs = 12
+	}
+	if len(c.MatrixTasks) == 0 {
+		c.MatrixTasks = []io500.Task{
+			io500.IorEasyWrite, io500.IorEasyRead, io500.MdtHardWrite,
+		}
+	}
+}
+
+// TransferResult holds the study's accuracy table and the per-profile
+// interference matrices.
+type TransferResult struct {
+	Profiles []string
+	// Samples and ClassCounts describe each profile's dataset.
+	Samples     []int
+	ClassCounts [][]int
+	// InDomain is train-and-test accuracy on the same profile — the ceiling
+	// a transferred model is measured against.
+	InDomain []float64
+	// ZeroShot[a][b] evaluates profile a's model, unchanged, on profile b's
+	// held-out test set (diagonal = InDomain).
+	ZeroShot [][]float64
+	// FineTuned[a][b] warm-starts from profile a's model and retrains
+	// briefly on profile b's data before evaluating on the same test set
+	// (diagonal = InDomain).
+	FineTuned [][]float64
+	// Matrices are the per-profile mini interference matrices (MatrixTasks
+	// subset of Table I), showing how the contention patterns themselves
+	// shift across hardware.
+	Matrices []*TableIResult
+}
+
+// Gap returns the zero-shot transfer gap InDomain[b] - ZeroShot[a][b]: how
+// much accuracy moving a model from profile a to b costs before adaptation.
+func (r *TransferResult) Gap(a, b int) float64 {
+	return r.InDomain[b] - r.ZeroShot[a][b]
+}
+
+// transferSweep is a trimmed interference sweep — one intensity per
+// contention class — keeping the per-profile collection cost proportionate to
+// the number of profiles the study multiplies it by.
+func transferSweep(s Scale) []core.Variant {
+	type entry struct {
+		task      io500.Task
+		instances int
+		ranks     int
+	}
+	entries := []entry{
+		{io500.IorEasyRead, 1, 4},
+		{io500.IorEasyRead, 2, 4},
+		{io500.IorEasyWrite, 1, 4},
+		{io500.IorHardWrite, 1, 4},
+		{io500.MdtHardWrite, 1, 4},
+	}
+	var out []core.Variant
+	for i, e := range entries {
+		out = append(out, core.Variant{
+			Name: fmt.Sprintf("%s-x%dr%d", e.task, e.instances, e.ranks),
+			Interference: IO500Instances(e.task, e.instances, e.ranks,
+				interferenceParams(s), fmt.Sprintf("/tsweep%d", i)),
+		})
+	}
+	return out
+}
+
+// transferDataset collects one profile's labelled windows: three IO500
+// targets (bulk write, bulk read, metadata) against the trimmed sweep.
+func transferDataset(cfg TransferConfig, profile string) *dataset.Dataset {
+	dc := DatasetConfig{
+		Scale:   cfg.Scale,
+		Window:  cfg.Window,
+		MaxTime: cfg.MaxTime,
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed,
+		Profile: profile,
+	}
+	dc.applyDefaults()
+	variants := transferSweep(cfg.Scale)
+	var all *dataset.Dataset
+	for _, task := range []io500.Task{io500.IorEasyWrite, io500.IorEasyRead, io500.MdtHardWrite} {
+		p := io500.Params{
+			Dir:           "/tfr-" + task.String(),
+			Ranks:         4,
+			EasyFileBytes: cfg.Scale.Bytes(32 << 20),
+			HardOps:       cfg.Scale.Count(300),
+			MdtFiles:      cfg.Scale.Count(200),
+		}
+		target := core.TargetSpec{Gen: io500.New(task, p), Nodes: targetNodes, Ranks: 4}
+		ds := collectFor(dc, task.String(), target, variants)
+		if all == nil {
+			all = ds
+		} else {
+			all.Merge(ds)
+		}
+	}
+	all.Profile = profile
+	return all
+}
+
+// TransferStudy runs the cross-profile experiment end to end: per-profile
+// dataset collection and in-domain training, zero-shot evaluation of every
+// ordered profile pair, a warm-started fine-tune for each pair, and a mini
+// interference matrix per profile. Both transfer variants are scored on the
+// same held-out split of the target profile's data (the split seed matches
+// TrainFramework's internal one), so their accuracies are directly
+// comparable.
+func TransferStudy(cfg TransferConfig) *TransferResult {
+	cfg.applyDefaults()
+	n := len(cfg.Profiles)
+	res := &TransferResult{
+		Profiles:    cfg.Profiles,
+		Samples:     make([]int, n),
+		ClassCounts: make([][]int, n),
+		InDomain:    make([]float64, n),
+		ZeroShot:    make([][]float64, n),
+		FineTuned:   make([][]float64, n),
+		Matrices:    make([]*TableIResult, n),
+	}
+
+	ds := make([]*dataset.Dataset, n)
+	fw := make([]*core.Framework, n)
+	for i, name := range cfg.Profiles {
+		ds[i] = transferDataset(cfg, name)
+		res.Samples[i] = ds[i].Len()
+		res.ClassCounts[i] = ds[i].ClassCounts()
+		f, cm, err := core.TrainFrameworkE(ds[i], core.FrameworkConfig{
+			Seed:  cfg.Seed,
+			Train: ml.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: transfer training on %s: %v", name, err))
+		}
+		fw[i] = f
+		res.InDomain[i] = cm.Accuracy()
+		res.Matrices[i] = TableI(TableIConfig{
+			Scale:            cfg.Scale,
+			Instances:        1,
+			RanksPerInstance: 4,
+			MaxTime:          cfg.MaxTime,
+			Profile:          name,
+			Tasks:            cfg.MatrixTasks,
+		})
+	}
+
+	for a := 0; a < n; a++ {
+		res.ZeroShot[a] = make([]float64, n)
+		res.FineTuned[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if a == b {
+				res.ZeroShot[a][b] = res.InDomain[b]
+				res.FineTuned[a][b] = res.InDomain[b]
+				continue
+			}
+			// Zero-shot: profile a's model reads profile b's test windows
+			// through a's scaler — the model is moved verbatim. The split
+			// seed matches TrainFramework's internal split, so this is the
+			// same test set the in-domain and fine-tuned numbers use.
+			_, test := ds[b].Split(0.2, cfg.Seed^0x5717)
+			scaled := test.Copy()
+			fw[a].Scaler.Transform(scaled)
+			res.ZeroShot[a][b] = ml.Evaluate(fw[a].Model, scaled).Accuracy()
+
+			_, cm, err := core.TrainFrameworkE(ds[b], core.FrameworkConfig{
+				Seed:  cfg.Seed,
+				Train: ml.TrainConfig{Epochs: cfg.FineTuneEpochs, Seed: cfg.Seed},
+			}, core.WithWarmStart(fw[a]))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: transfer fine-tune %s->%s: %v",
+					cfg.Profiles[a], cfg.Profiles[b], err))
+			}
+			res.FineTuned[a][b] = cm.Accuracy()
+		}
+	}
+	return res
+}
+
+func (r *TransferResult) renderMatrix(b *strings.Builder, title string, m [][]float64) {
+	fmt.Fprintf(b, "%s\n%-14s", title, "train\\eval")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(b, "%12s", p)
+	}
+	b.WriteString("\n")
+	for a, p := range r.Profiles {
+		fmt.Fprintf(b, "%-14s", p)
+		for bb := range r.Profiles {
+			fmt.Fprintf(b, "%12.3f", m[a][bb])
+		}
+		b.WriteString("\n")
+	}
+}
+
+// Render draws the accuracy tables and the per-profile interference matrices.
+func (r *TransferResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Cross-profile model transfer\n\n")
+	fmt.Fprintf(&b, "%-14s%10s%16s%12s\n", "profile", "samples", "balance", "in-domain")
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-14s%10d%16v%12.3f\n",
+			p, r.Samples[i], r.ClassCounts[i], r.InDomain[i])
+	}
+	b.WriteString("\n")
+	r.renderMatrix(&b, "Zero-shot accuracy (diagonal = in-domain)", r.ZeroShot)
+	b.WriteString("\n")
+	r.renderMatrix(&b, "Fine-tuned accuracy (diagonal = in-domain)", r.FineTuned)
+	b.WriteString("\nZero-shot transfer gap (in-domain minus zero-shot)\n")
+	fmt.Fprintf(&b, "%-14s", "train\\eval")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "%12s", p)
+	}
+	b.WriteString("\n")
+	for a, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-14s", p)
+		for bb := range r.Profiles {
+			fmt.Fprintf(&b, "%12.3f", r.Gap(a, bb))
+		}
+		b.WriteString("\n")
+	}
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "\nInterference matrix on %s\n%s", p, r.Matrices[i].Render())
+	}
+	return b.String()
+}
+
+// CSV emits one row per (kind, train, eval) accuracy cell plus the
+// per-profile matrices, for external plotting.
+func (r *TransferResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("kind,train_profile,eval_profile,accuracy\n")
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "in_domain,%s,%s,%.4f\n", p, p, r.InDomain[i])
+	}
+	for a, pa := range r.Profiles {
+		for bb, pb := range r.Profiles {
+			if a == bb {
+				continue
+			}
+			fmt.Fprintf(&b, "zero_shot,%s,%s,%.4f\n", pa, pb, r.ZeroShot[a][bb])
+			fmt.Fprintf(&b, "fine_tuned,%s,%s,%.4f\n", pa, pb, r.FineTuned[a][bb])
+			fmt.Fprintf(&b, "gap,%s,%s,%.4f\n", pa, pb, r.Gap(a, bb))
+		}
+	}
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "\nmatrix,%s\n%s", p, r.Matrices[i].CSV())
+	}
+	return b.String()
+}

@@ -141,9 +141,10 @@ type fakeNet struct {
 	times []sim.Time
 }
 
-func (f *fakeNet) SetBandwidthScale(node string, scale float64) {
+func (f *fakeNet) SetBandwidthScale(node string, scale float64) error {
 	f.calls = append(f.calls, map[string]float64{node: scale})
 	f.times = append(f.times, f.eng.Now())
+	return nil
 }
 
 func testEndpoints(eng *sim.Engine) (Endpoints, *fakeDisk, *fakeStaller, *fakeCache, *fakeCPU, *fakeNet) {

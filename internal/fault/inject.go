@@ -38,9 +38,12 @@ type CPUScaler interface {
 }
 
 // BandwidthScaler is a fabric whose per-node NIC capacity can be scaled
-// (internal/netsim). Scale 1 restores full bandwidth.
+// (internal/netsim). Scale 1 restores full bandwidth. A scale outside
+// (0, 1] or an unknown node returns an error and leaves the fabric
+// untouched; the injector validates both at Inject time, so the scheduled
+// apply/revert calls cannot fail on a fabric with stable node membership.
 type BandwidthScaler interface {
-	SetBandwidthScale(node string, scale float64)
+	SetBandwidthScale(node string, scale float64) error
 }
 
 // Endpoints names every degradable component instance of one cluster. The
@@ -144,8 +147,14 @@ func (in *Injector) Inject(specs []Spec) error {
 				return fmt.Errorf("fault %d: net-collapse target %q: %s", i, spec.Target, known(in.eps.NetNodes))
 			}
 			node, sev := spec.Target, spec.Severity
-			ep.apply = func() { in.eps.Net.SetBandwidthScale(node, 1/sev) }
-			ep.revert = func() { in.eps.Net.SetBandwidthScale(node, 1) }
+			if scale := 1 / sev; scale <= 0 || scale > 1 {
+				return fmt.Errorf("fault %d: net-collapse severity %g yields bandwidth scale %g outside (0, 1]",
+					i, sev, scale)
+			}
+			// Both calls are pre-validated above (scale in range, node known),
+			// so the error return is structurally impossible here.
+			ep.apply = func() { _ = in.eps.Net.SetBandwidthScale(node, 1/sev) }
+			ep.revert = func() { _ = in.eps.Net.SetBandwidthScale(node, 1) }
 		}
 		episodes = append(episodes, ep)
 	}

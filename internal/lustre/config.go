@@ -16,11 +16,20 @@
 //   - all bulk data shares per-node NIC bandwidth max-min fairly.
 package lustre
 
-import "quanterference/internal/sim"
+import (
+	"quanterference/internal/disk"
+	"quanterference/internal/sim"
+)
 
 // Config holds file-system-wide tunables. The zero value models the paper's
 // testbed: Lustre 2.12 defaults on 7200 RPM SATA disks and 1 Gb/s Ethernet.
 type Config struct {
+	// Disk is the device model every storage target (each OST and the MDT)
+	// is built on — the hardware-profile threading point for the storage
+	// tier. The zero value is the paper's 1 TB 7200 RPM SATA drive; the
+	// per-target Seed is always overridden with a seed derived from
+	// Config.Seed so reseeding a scenario reseeds every device coherently.
+	Disk disk.Config
 	// StripeSize is the striping unit (default 1 MiB).
 	StripeSize int64
 	// DefaultStripeCount is the number of OSTs a new file is striped over

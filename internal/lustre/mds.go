@@ -85,7 +85,9 @@ type MDS struct {
 }
 
 func newMDS(eng *sim.Engine, cfg *Config, node string, nOSTs int, seed int64) *MDS {
-	d := disk.New(eng, disk.Config{Seed: seed})
+	dc := cfg.Disk
+	dc.Seed = seed
+	d := disk.New(eng, dc)
 	q := blockqueue.New(eng, d, blockqueue.Config{
 		Scheduler:    blockqueue.Elevator,
 		ReadPriority: true,

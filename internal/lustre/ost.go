@@ -89,7 +89,9 @@ type OST struct {
 }
 
 func newOST(eng *sim.Engine, cfg *Config, id int, oss *OSS, seed int64) *OST {
-	d := disk.New(eng, disk.Config{Seed: seed})
+	dc := cfg.Disk
+	dc.Seed = seed
+	d := disk.New(eng, dc)
 	q := blockqueue.New(eng, d, blockqueue.Config{
 		Scheduler:    blockqueue.Elevator,
 		ReadPriority: true,

@@ -11,11 +11,21 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"quanterference/internal/obs"
 	"quanterference/internal/sim"
+)
+
+// Typed errors returned by the fabric's mutation API; match with errors.Is.
+var (
+	// ErrBadScale marks a SetBandwidthScale factor outside (0, 1].
+	ErrBadScale = errors.New("netsim: bandwidth scale outside (0, 1]")
+	// ErrUnknownNode marks an operation on a node name never registered
+	// with AddNode.
+	ErrUnknownNode = errors.New("netsim: unknown node")
 )
 
 // Config describes the fabric.
@@ -153,15 +163,24 @@ func (n *Network) AddNode(name string, bps float64) {
 // drained at their old rates up to now, then re-shared max-min fairly at the
 // new capacity — a transient bandwidth collapse (link renegotiation, a
 // flapping switch port) as the fault layer injects it.
-func (n *Network) SetBandwidthScale(name string, scale float64) {
+//
+// An out-of-range scale returns an error wrapping ErrBadScale and an
+// unregistered node one wrapping ErrUnknownNode; in both cases the fabric is
+// left untouched. (This used to panic; the error return matches the typed
+// error surface of the public API.)
+func (n *Network) SetBandwidthScale(name string, scale float64) error {
 	if scale <= 0 || scale > 1 {
-		panic(fmt.Sprintf("netsim: bandwidth scale %g outside (0, 1]", scale))
+		return fmt.Errorf("%w: %g for node %q", ErrBadScale, scale, name)
 	}
-	nd := n.node(name)
+	nd, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
 	n.advance()
 	nd.up.scale = scale
 	nd.down.scale = scale
 	n.reschedule()
+	return nil
 }
 
 // HasNode reports whether the node exists.

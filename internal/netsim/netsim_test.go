@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -220,5 +221,31 @@ func TestDeterministicReplay(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+func TestSetBandwidthScaleErrors(t *testing.T) {
+	eng, n := newNet("a", "b")
+	if err := n.SetBandwidthScale("a", 0); !errors.Is(err, ErrBadScale) {
+		t.Errorf("scale 0: err = %v, want ErrBadScale", err)
+	}
+	if err := n.SetBandwidthScale("a", -0.5); !errors.Is(err, ErrBadScale) {
+		t.Errorf("scale -0.5: err = %v, want ErrBadScale", err)
+	}
+	if err := n.SetBandwidthScale("a", 1.5); !errors.Is(err, ErrBadScale) {
+		t.Errorf("scale 1.5: err = %v, want ErrBadScale", err)
+	}
+	if err := n.SetBandwidthScale("ghost", 0.5); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: err = %v, want ErrUnknownNode", err)
+	}
+	if err := n.SetBandwidthScale("a", 0.5); err != nil {
+		t.Errorf("valid scale: err = %v", err)
+	}
+	// A degraded NIC slows an in-range transfer by the scale factor.
+	done := sim.Time(0)
+	n.Transfer("a", "b", 125_000_000, func() { done = eng.Now() }) // 1 s healthy
+	eng.Run()
+	if done < sim.Seconds(1.9) || done > sim.Seconds(2.1) {
+		t.Fatalf("transfer on half-speed NIC finished at %v, want ~2s", sim.ToSeconds(done))
 	}
 }

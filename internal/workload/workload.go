@@ -112,6 +112,11 @@ type Runner struct {
 	// WriteVia, when set, replaces direct client writes — e.g. routing
 	// them through a burst buffer tier. It must eventually call done.
 	WriteVia func(h *lustre.Handle, off, length int64, done func())
+	// WriteViaFor, when set, supplies a per-node write route (e.g. that
+	// node's own burst buffer, under a burst-buffer hardware profile). It
+	// is resolved once per rank with the rank's compute node and wins over
+	// WriteVia; returning nil falls back to direct client writes.
+	WriteViaFor func(node string) func(h *lustre.Handle, off, length int64, done func())
 
 	stopped  bool
 	active   int
@@ -149,6 +154,14 @@ type rankState struct {
 
 func (r *Runner) runRank(rank int, node string) {
 	client := r.FS.Client(node)
+	writeFn := client.Write
+	if r.WriteViaFor != nil {
+		if w := r.WriteViaFor(node); w != nil {
+			writeFn = w
+		}
+	} else if r.WriteVia != nil {
+		writeFn = r.WriteVia
+	}
 	st := &rankState{handles: make(map[string]*lustre.Handle)}
 	iter := 0
 	ops := r.Gen.Ops(rank)
@@ -216,11 +229,7 @@ func (r *Runner) runRank(rank int, node string) {
 			})
 		case Write:
 			h := st.handle(op)
-			write := client.Write
-			if r.WriteVia != nil {
-				write = r.WriteVia
-			}
-			write(h, op.Offset, op.Size, func() {
+			writeFn(h, op.Offset, op.Size, func() {
 				emit(h.Targets(op.Offset, op.Size))
 			})
 		default:

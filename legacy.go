@@ -4,6 +4,12 @@ package quanterference
 // wrappers so existing callers build unchanged. New code should use the
 // error-returning forms (RunE, CollectDatasetE, TrainFrameworkE) or the
 // context-aware forms (RunCtx, CollectDatasetCtx, TrainFrameworkCtx).
+//
+// None of the package's functional options (see the Options section in
+// quanterference.go) apply here — these wrappers take no Option parameters.
+// Callers that need WithSink, WithHardware, or any other option must use the
+// error-returning forms; setting Scenario.Hardware directly is the only way
+// to select a hardware profile through these wrappers.
 
 import "quanterference/internal/core"
 

@@ -16,6 +16,12 @@
 //	// Measure a workload under interference.
 //	res, err := quanterference.RunE(quanterference.Scenario{ ... })
 //
+//	// The same scenario on NVMe-class storage (hardware profiles bundle
+//	// disk, network, burst-buffer, and server parameters; the zero value
+//	// is the paper's testbed).
+//	res, err = quanterference.RunE(scenario,
+//		quanterference.WithHardware(quanterference.NVMeProfile()))
+//
 //	// Collect a labelled dataset (§III-D) and train the model.
 //	ds, err := quanterference.CollectDatasetE(base, variants,
 //		quanterference.CollectorConfig{}, quanterference.WithBaselineSamples(true))
@@ -65,6 +71,7 @@ import (
 	"quanterference/internal/dataset"
 	"quanterference/internal/experiments"
 	"quanterference/internal/fault"
+	"quanterference/internal/hw"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
@@ -99,6 +106,12 @@ type (
 	// Topology is the cluster layout; Config the file-system tunables.
 	Topology = lustre.Topology
 	Config   = lustre.Config
+
+	// HardwareProfile bundles the simulated storage hardware — disk model,
+	// NIC speed/latency, optional client burst buffers, and server-side
+	// costs — as one serializable value (Scenario.Hardware, WithHardware).
+	// The zero value, like PaperProfile, is the paper's testbed.
+	HardwareProfile = hw.Profile
 
 	// Bins discretizes degradation levels into classes.
 	Bins = label.Bins
@@ -161,16 +174,69 @@ var (
 	// done; the error also matches the context's own error (context.Canceled
 	// or context.DeadlineExceeded).
 	ErrCanceled = core.ErrCanceled
+	// ErrUnknownProfile marks a ProfileByName lookup with a name outside
+	// ProfileNames.
+	ErrUnknownProfile = hw.ErrUnknownProfile
 )
 
 // NewSink returns an empty observability sink.
 func NewSink() *Sink { return obs.New() }
 
-// Functional options for the error-returning entry points.
-func WithSink(s *Sink) Option                   { return core.WithSink(s) }
-func WithBins(b Bins) Option                    { return core.WithBins(b) }
-func WithMinOpsPerWindow(n int) Option          { return core.WithMinOpsPerWindow(n) }
-func WithBaselineSamples(on bool) Option        { return core.WithBaselineSamples(on) }
+// Hardware profiles. PaperProfile is the testbed every zero-valued Scenario
+// simulates — bit-identical to the behaviour before profiles existed (the
+// golden-trace tests pin this). The other constructors swap in alternative
+// storage subsystems; ProfileNames/ProfileByName map the CLI names.
+func PaperProfile() HardwareProfile       { return hw.PaperProfile() }
+func NVMeProfile() HardwareProfile        { return hw.NVMeProfile() }
+func FastNICProfile() HardwareProfile     { return hw.FastNICProfile() }
+func BurstBufferProfile() HardwareProfile { return hw.BurstBufferProfile() }
+
+// ProfileNames lists every named profile's ByName key.
+func ProfileNames() []string { return hw.Names() }
+
+// ProfileByName returns the named profile, or an error wrapping
+// ErrUnknownProfile.
+func ProfileByName(name string) (HardwareProfile, error) { return hw.ByName(name) }
+
+// Options
+//
+// The functional options below tune the error-returning and context-aware
+// entry points only — the deprecated panic entry points in legacy.go (Run,
+// CollectDataset, TrainFramework) accept none of them. Each option states
+// which entry points it applies to; an option passed to an entry point it
+// does not apply to is silently ignored.
+//
+//	WithSink             RunE/Ctx, CollectDatasetE/Ctx — instrument on a shared sink
+//	WithHardware         RunE/Ctx, CollectDatasetE/Ctx — default hardware profile
+//	WithBins             CollectDatasetE/Ctx, TrainFrameworkE/Ctx — degradation bins
+//	WithMinOpsPerWindow  CollectDatasetE/Ctx — window labelling threshold
+//	WithBaselineSamples  CollectDatasetE/Ctx — include label-0 baseline windows
+//	WithCollectReport    CollectDatasetE/Ctx — per-variant completion accounting
+//	WithWarmStart        TrainFrameworkE/Ctx — retrain from an incumbent framework
+
+// WithSink attaches an observability sink to every cluster the call builds;
+// RunResult.Stats snapshots it, and parallel collection runs aggregate on it.
+func WithSink(s *Sink) Option { return core.WithSink(s) }
+
+// WithHardware runs scenarios on the given hardware profile when the
+// scenario's own Hardware field is zero (an explicit Scenario.Hardware wins).
+// In CollectDatasetE the profile covers the baseline and every variant run
+// and is recorded in the dataset header.
+func WithHardware(p HardwareProfile) Option { return core.WithHardware(p) }
+
+// WithBins selects the degradation bins (default: the paper's binary >=2x).
+func WithBins(b Bins) Option { return core.WithBins(b) }
+
+// WithMinOpsPerWindow sets the minimum matched operations a window needs to
+// be labelled (default 3).
+func WithMinOpsPerWindow(n int) Option { return core.WithMinOpsPerWindow(n) }
+
+// WithBaselineSamples includes the baseline run's own windows as label-0
+// samples, teaching the model what "no interference" looks like.
+func WithBaselineSamples(on bool) Option { return core.WithBaselineSamples(on) }
+
+// WithCollectReport fills r with per-variant completion accounting after
+// CollectDatasetE returns.
 func WithCollectReport(r *CollectReport) Option { return core.WithCollectReport(r) }
 
 // WithWarmStart makes TrainFrameworkE/TrainFrameworkCtx retrain incrementally
@@ -269,4 +335,9 @@ var (
 	CaseStudyMitigation    = experiments.CaseStudyMitigation
 	PhaseStudy             = experiments.PhaseStudy
 	Robustness             = experiments.Robustness
+	// TransferStudy measures cross-profile model transfer: per-profile
+	// interference matrices, zero-shot accuracy of a model moved between
+	// hardware profiles, and warm-started fine-tuning (cmd/figures -only
+	// transfer).
+	TransferStudy = experiments.TransferStudy
 )
