@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ tier1: build test
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs, online's
 # loop promoting through the live server under concurrent predictions).
-verify: docs-check serve-smoke online-smoke profile-smoke
+verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online
@@ -59,6 +59,9 @@ serve-smoke:
 		{ echo "serve-smoke: bad /predict"; exit 1; }; \
 	curl -sf http://$(SERVE_SMOKE_ADDR)/stats | grep -q 'serve/requests' || \
 		{ echo "serve-smoke: bad /stats"; exit 1; }; \
+	curl -sf -X POST http://$(SERVE_SMOKE_ADDR)/forecast \
+		-d '{"history":[[[0,0,0,0,0],[0,0,0,0,0],[0,0,0,0,0]],[[0,0,0,0,0],[0,0,0,0,0],[0,0,0,0,0]],[[0,0,0,0,0],[0,0,0,0,0],[0,0,0,0,0]]]}' \
+		| grep -q '"lead_windows"' || { echo "serve-smoke: bad /forecast"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean exit"; exit 1; }; \
 	trap - EXIT; echo "serve-smoke: OK"
 
@@ -80,6 +83,22 @@ profile-smoke:
 	@grep -q 'zero_shot' out/profile-smoke/transfer.csv || \
 		{ echo "profile-smoke: transfer.csv missing zero-shot rows"; exit 1; }
 	@echo "profile-smoke: OK"
+
+# forecast-smoke runs the lead-time study end to end at tiny scale: collect
+# a long-window stream with delayed interference arrivals, train the k=0
+# classifier and one forecast head per horizon, and check the emitted curve
+# has the baseline row, every horizon, and the determinism digest.
+forecast-smoke:
+	@mkdir -p out/forecast-smoke
+	$(GO) run ./cmd/figures -only leadtime -scale 0.08 -epochs 6 \
+		-profiles paper -out out/forecast-smoke
+	@grep -q '^paper,0,' out/forecast-smoke/leadtime.csv || \
+		{ echo "forecast-smoke: leadtime.csv missing baseline row"; exit 1; }
+	@for k in 1 2 4; do grep -q "^paper,$$k," out/forecast-smoke/leadtime.csv || \
+		{ echo "forecast-smoke: leadtime.csv missing horizon $$k"; exit 1; }; done
+	@grep -q '^digest,paper,' out/forecast-smoke/leadtime.csv || \
+		{ echo "forecast-smoke: leadtime.csv missing weights digest"; exit 1; }
+	@echo "forecast-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -15,6 +15,7 @@ import (
 	"quanterference/internal/dataset"
 	"quanterference/internal/disk"
 	"quanterference/internal/experiments"
+	"quanterference/internal/forecast"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
@@ -429,6 +430,43 @@ func BenchmarkFrameworkPredictBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fw.PredictBatch(mats)
+	}
+}
+
+// BenchmarkForecastPredict measures one full forecast — pooling a 4-window
+// history of 7x34 matrices and running all three horizon heads — the
+// per-window cost the online loop and /forecast endpoint pay. Steady state
+// reuses the forecaster's pooled/scaled scratch; only the returned
+// Prediction allocates.
+func BenchmarkForecastPredict(b *testing.B) {
+	const history, nTargets, nFeat = 4, 7, 34
+	fc := &forecast.Forecaster{History: history, Threshold: 1, Bins: label.BinaryBins()}
+	for _, k := range []int{1, 2, 4} {
+		scaler := &dataset.Scaler{Mean: make([]float64, 2*nFeat), Std: make([]float64, 2*nFeat)}
+		for j := range scaler.Std {
+			scaler.Std[j] = 1
+		}
+		fc.Heads = append(fc.Heads, &forecast.Head{
+			Horizon: k,
+			Model: ml.NewKernelModel(ml.KernelConfig{
+				NTargets: history, NFeat: 2 * nFeat, Classes: 2, Seed: 1 + int64(k),
+			}),
+			Scaler: scaler,
+		})
+	}
+	ds := syntheticDataset(history)
+	hist := make([]quant.WindowMatrix, history)
+	for i := range hist {
+		hist[i] = ds.Samples[i].Vectors
+	}
+	if _, err := fc.Predict(hist); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fc.Predict(hist); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer]
+//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer|leadtime]
 //	        [-scale 1.0] [-epochs 60] [-seed 42] [-out out/]
 //	        [-profiles paper,nvme,fastnic] [-pprof localhost:6060]
 //
@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer)")
+	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer, leadtime)")
 	scale    = flag.Float64("scale", 1.0, "workload volume scale factor")
 	epochs   = flag.Int("epochs", 60, "training epochs for model experiments")
 	seed     = flag.Int64("seed", 42, "root random seed")
@@ -163,6 +163,17 @@ func main() {
 				Seed:     *seed,
 			})
 			emit("transfer", r.Render(), r.CSV())
+		})
+	}
+	if want("leadtime") {
+		step("Lead time: forecast accuracy vs prediction horizon", func() {
+			r := experiments.LeadTimeStudy(experiments.LeadTimeConfig{
+				Profiles: strings.Split(*profiles, ","),
+				Scale:    s,
+				Epochs:   *epochs,
+				Seed:     *seed,
+			})
+			emit("leadtime", r.Render(), r.CSV())
 		})
 	}
 	if want("extensions") {

@@ -12,6 +12,11 @@
 // SIGHUP (or POST /admin/reload) hot-swaps the model file without dropping
 // in-flight requests; SIGINT/SIGTERM drain gracefully. -smoke trains a tiny
 // synthetic model in-process and serves it — used by `make serve-smoke`.
+//
+// -forecast additionally serves a forecaster file (core.SaveForecaster /
+// forecast.Save) on /forecast: POST a history of window matrices, get the
+// predicted slowdown class per horizon plus the lead to degradation. -smoke
+// trains a tiny forecaster too, so the smoke server answers both endpoints.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
+	"quanterference/internal/forecast"
 	"quanterference/internal/ml"
 	"quanterference/internal/serve"
 	"quanterference/internal/sim"
@@ -34,6 +40,7 @@ import (
 
 var (
 	model       = flag.String("model", "framework.json", "framework file from quanttrain -save")
+	forecastF   = flag.String("forecast", "", "optional forecaster file; enables /forecast")
 	addr        = flag.String("addr", ":8080", "listen address")
 	maxBatch    = flag.Int("max-batch", 32, "max predictions per batch")
 	batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long to gather a batch")
@@ -46,12 +53,18 @@ func main() {
 
 	var (
 		fw  *core.Framework
+		fc  *forecast.Forecaster
 		err error
 	)
 	if *smoke {
-		fw, err = smokeFramework()
+		if fw, err = smokeFramework(); err == nil {
+			fc, err = smokeForecaster()
+		}
 	} else {
 		fw, err = core.LoadFramework(*model)
+		if err == nil && *forecastF != "" {
+			fc, err = forecast.Load(*forecastF)
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -62,6 +75,7 @@ func main() {
 		BatchWindow: *batchWindow,
 		MaxInflight: *maxInflight,
 		ModelPath:   *model,
+		Forecaster:  fc,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -96,6 +110,10 @@ func main() {
 	nT, nF := fw.Dims()
 	fmt.Fprintf(os.Stderr, "quantserve: serving %d-target x %d-feature model (%d classes) on %s\n",
 		nT, nF, fw.Classes(), *addr)
+	if fc != nil {
+		fmt.Fprintf(os.Stderr, "quantserve: forecasting over %d-window history at horizons %v\n",
+			fc.History, fc.Horizons())
+	}
 	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -124,6 +142,49 @@ func smokeFramework() (*core.Framework, error) {
 	}
 	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: 1, Train: ml.TrainConfig{Epochs: 5}})
 	return fw, err
+}
+
+// smokeForecaster trains a minimal forecaster over the same 3x5 window shape
+// as smokeFramework: a few synthetic runs of consecutive windows whose
+// features drift upward until the back third degrades.
+func smokeForecaster() (*forecast.Forecaster, error) {
+	const nTargets, nFeat, runs, windows = 3, 5, 4, 16
+	names := make([]string, nFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, nTargets, 2)
+	rng := sim.NewRNG(2)
+	for r := 0; r < runs; r++ {
+		for w := 0; w < windows; w++ {
+			degraded := w >= 2*windows/3
+			vecs := make([][]float64, nTargets)
+			for t := range vecs {
+				v := make([]float64, nFeat)
+				for f := range v {
+					v[f] = 0.2*float64(w) + rng.NormFloat64()
+					if degraded {
+						v[f] += 3
+					}
+				}
+				vecs[t] = v
+			}
+			s := &dataset.Sample{
+				Workload: "smoke", Run: fmt.Sprintf("r%d", r), Window: w,
+				Degradation: 1, Vectors: vecs,
+			}
+			if degraded {
+				s.Label, s.Degradation = 1, 3
+			}
+			ds.Add(s)
+		}
+	}
+	fc, _, err := core.TrainForecasterCtx(context.Background(), ds, core.ForecasterConfig{
+		Forecast: forecast.Config{History: 3, Horizons: []int{1, 2}},
+		Train:    ml.TrainConfig{Epochs: 5},
+		Seed:     2,
+	})
+	return fc, err
 }
 
 func fatal(err error) {

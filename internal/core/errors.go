@@ -44,6 +44,11 @@ var (
 	// candidate reads the same input space as the incumbent.
 	ErrWarmStartMismatch = errors.New("core: warm-start framework does not match dataset shape")
 
+	// ErrForecastHorizon reports a TrainForecasterCtx horizon no run in the
+	// dataset can label: no window has History consecutive predecessors plus
+	// a window Horizon ahead. Collect longer runs or shrink History/Horizons.
+	ErrForecastHorizon = errors.New("core: no windows reach the forecast horizon")
+
 	// ErrCanceled reports that a context-aware entry point (RunCtx,
 	// CollectDatasetCtx, TrainFrameworkCtx) stopped because its context was
 	// done. The returned error wraps both ErrCanceled and the context's own

@@ -98,13 +98,20 @@ func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
 }
 
 // Merge appends all samples of other (schemas must match). Merging across
-// hardware profiles marks the result "mixed".
+// two different hardware profiles marks the result "mixed"; an empty profile
+// on either side is a wildcard (unstamped data), not a distinct profile, so
+// the merge adopts whichever side is stamped instead of poisoning the result.
 func (d *Dataset) Merge(other *Dataset) {
 	if other.NTargets != d.NTargets || len(other.FeatureNames) != len(d.FeatureNames) ||
 		other.Classes != d.Classes {
 		panic("dataset: merging incompatible schemas")
 	}
-	if other.Profile != d.Profile {
+	switch {
+	case other.Profile == d.Profile || other.Profile == "":
+		// Same profile, or the other side is unstamped: keep ours.
+	case d.Profile == "":
+		d.Profile = other.Profile
+	default:
 		d.Profile = "mixed"
 	}
 	d.Samples = append(d.Samples, other.Samples...)

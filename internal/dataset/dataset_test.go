@@ -178,6 +178,37 @@ func TestMergeChecksSchema(t *testing.T) {
 	a.Merge(c)
 }
 
+// TestMergeProfileStamps pins the profile algebra: equal profiles survive,
+// an empty profile is a wildcard that adopts the stamped side (regression:
+// it used to poison the merge to "mixed"), and genuinely different profiles
+// still mix.
+func TestMergeProfileStamps(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want string
+	}{
+		{"same", "paper", "paper", "paper"},
+		{"left-unstamped-adopts", "", "nvme", "nvme"},
+		{"right-unstamped-keeps", "nvme", "", "nvme"},
+		{"both-unstamped", "", "", ""},
+		{"different-mix", "paper", "nvme", "mixed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := mkDataset(2), mkDataset(2)
+			a.Profile, b.Profile = tc.a, tc.b
+			a.Merge(b)
+			if a.Profile != tc.want {
+				t.Fatalf("merge %q+%q stamped %q, want %q", tc.a, tc.b, a.Profile, tc.want)
+			}
+			if a.Len() != 4 {
+				t.Fatalf("merged len %d", a.Len())
+			}
+		})
+	}
+}
+
 func TestCopyIsDeep(t *testing.T) {
 	d := mkDataset(5)
 	c := d.Copy()

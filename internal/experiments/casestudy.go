@@ -264,9 +264,12 @@ func caseStudyRunPredictive(cfg CaseStudyConfig, fw *core.Framework) (sim.Time, 
 	for _, node := range interferenceNodesCS {
 		victims = append(victims, cl.FS.Client(node))
 	}
-	ctrl = mitigate.New(cl, fw, victims, sim.Second, mitigate.Config{
+	ctrl, err := mitigate.New(cl, fw, victims, sim.Second, mitigate.Config{
 		ThrottleBps: cfg.ThrottleBps,
 	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mitigation controller: %v", err))
+	}
 	start()
 	cl.Eng.RunUntil(600 * sim.Second)
 	ctrl.Stop()

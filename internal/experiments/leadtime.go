@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/forecast"
+	"quanterference/internal/ml"
+	"quanterference/internal/sim"
+	"quanterference/internal/workload/io500"
+)
+
+// LeadTimeConfig controls the forecasting study: how much accuracy a
+// slowdown prediction loses as it moves from "this window" (the paper's
+// classifier) to k windows ahead (the forecast sequence head), per hardware
+// profile.
+type LeadTimeConfig struct {
+	// Profiles are the hardware profiles under study (default paper only;
+	// the cross-profile sweep multiplies cost by its length).
+	Profiles []string
+	// Scale shrinks workload volumes (default 1.0).
+	Scale Scale
+	// Window is the monitor aggregation window (default 1 s).
+	Window sim.Time
+	// MaxTime caps each collection run (default 240 s).
+	MaxTime sim.Time
+	// Reps repeats the sweep with rotated OST placement (default 2).
+	Reps int
+	// Epochs trains the baseline classifier and every forecast head
+	// (default 40).
+	Epochs int
+	Seed   int64
+	// History is the forecaster's input length in windows (default 4).
+	History int
+	// Horizons are the forecast leads studied, in windows (default 1, 2, 4).
+	Horizons []int
+}
+
+func (c *LeadTimeConfig) applyDefaults() {
+	if len(c.Profiles) == 0 {
+		c.Profiles = []string{"paper"}
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Window == 0 {
+		c.Window = sim.Second
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 240 * sim.Second
+	}
+	if c.Reps == 0 {
+		c.Reps = 2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.History == 0 {
+		c.History = 4
+	}
+	if len(c.Horizons) == 0 {
+		c.Horizons = []int{1, 2, 4}
+	}
+}
+
+// LeadTimeResult holds the lead-time-vs-accuracy curves, one per profile.
+// All per-horizon slices are indexed [profile][horizon] and parallel to
+// Horizons.
+type LeadTimeResult struct {
+	Profiles []string
+	History  int
+	Horizons []int
+	// Samples is each profile's window dataset size; LaggedSamples[i][j] is
+	// how many of those windows are lead-labelable at Horizons[j] (runs
+	// shorter than History+Horizon contribute nothing).
+	Samples       []int
+	LaggedSamples [][]int
+	// Baseline is the current-window classifier's holdout accuracy — the
+	// k=0 point every forecast horizon is measured against. Baseline and
+	// forecast splits share a seed, so the comparison is like for like.
+	Baseline []float64
+	// Accuracy[i][j] is the forecast head's holdout accuracy predicting
+	// Horizons[j] windows ahead on profile i.
+	Accuracy [][]float64
+	// AlarmPrecision and AlarmRecall score the degrading class (>=2x bin):
+	// of the early warnings raised, how many were right, and of the
+	// degradations coming, how many were warned about.
+	AlarmPrecision [][]float64
+	AlarmRecall    [][]float64
+	// WeightsDigest is a sha256 over each profile's forecaster weights —
+	// the determinism pin: same seed, same digest, bit for bit.
+	WeightsDigest []string
+}
+
+// weightsDigest hashes weight tensors bit-exactly (float64 little-endian),
+// so any single-ulp divergence between same-seed runs changes the digest.
+func weightsDigest(weights [][]float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, tensor := range weights {
+		for _, w := range tensor {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// leadtimeSweep is the interference schedule for forecasting runs. Unlike
+// the transfer sweep, most variants hold their arrival back by several
+// windows (StartAt), so every run opens with a clean stretch and then
+// degrades mid-stream — the transition a forecaster is supposed to call
+// ahead of time. Staggered delays also keep the two classes balanced enough
+// that BalanceClasses oversampling stays sane.
+func leadtimeSweep(s Scale) []core.Variant {
+	p := interferenceParams(s)
+	mk := func(task io500.Task, n, ranks int, dir string, startAt sim.Time) core.Variant {
+		specs := IO500Instances(task, n, ranks, p, dir)
+		for i := range specs {
+			specs[i].StartAt = startAt
+		}
+		name := fmt.Sprintf("%s-x%dr%d", task, n, ranks)
+		if startAt > 0 {
+			name = fmt.Sprintf("%s-d%s", name, fmtSeconds(startAt))
+		}
+		return core.Variant{Name: name, Interference: specs}
+	}
+	return []core.Variant{
+		mk(io500.IorEasyRead, 1, 4, "/lt0", 0),
+		mk(io500.IorEasyRead, 2, 4, "/lt1", 4*sim.Second),
+		mk(io500.IorEasyWrite, 1, 4, "/lt2", 7*sim.Second),
+		mk(io500.IorHardWrite, 1, 4, "/lt3", 10*sim.Second),
+		mk(io500.MdtHardWrite, 1, 4, "/lt4", 0),
+	}
+}
+
+// leadtimeDataset collects one profile's labelled window stream for
+// forecasting. Unlike the transfer study's trimmed targets (sized for cheap
+// collection, often finishing inside one window), forecasting needs runs
+// spanning at least History+Horizon consecutive windows — and longer than
+// the sweep's arrival delays. The targets are therefore sized in time
+// (roughly 15-20 unimpeded windows) and deliberately NOT scaled by
+// cfg.Scale: the simulator runs in virtual time, so a fixed-size target
+// costs the same wall clock at every scale, stays inside MaxTime at full
+// scale, and keeps smoke runs long enough to lead-label. Scale still trims
+// the interference workloads, which is what varies degradation.
+func leadtimeDataset(cfg LeadTimeConfig, profile string) *dataset.Dataset {
+	dc := DatasetConfig{
+		Scale:   cfg.Scale,
+		Window:  cfg.Window,
+		MaxTime: cfg.MaxTime,
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed,
+		Profile: profile,
+	}
+	dc.applyDefaults()
+	variants := leadtimeSweep(cfg.Scale)
+	var all *dataset.Dataset
+	for _, task := range []io500.Task{io500.IorEasyWrite, io500.IorHardWrite} {
+		p := io500.Params{
+			Dir:           "/lt-" + task.String(),
+			Ranks:         4,
+			EasyFileBytes: 2 << 30,
+			HardOps:       8000,
+			MdtFiles:      1000,
+		}
+		target := core.TargetSpec{Gen: io500.New(task, p), Nodes: targetNodes, Ranks: 4}
+		ds := collectFor(dc, task.String(), target, variants)
+		if all == nil {
+			all = ds
+		} else {
+			all.Merge(ds)
+		}
+	}
+	all.Profile = profile
+	return all
+}
+
+// LeadTimeStudy runs the forecasting experiment end to end, per profile:
+// collect the labelled window stream (long-running targets against the
+// trimmed interference sweep), train the current-window classifier as the
+// k=0 baseline, train one forecast head per horizon
+// (core.TrainForecasterCtx), and score each head's class accuracy and
+// degradation-alarm precision/recall on its holdout.
+func LeadTimeStudy(cfg LeadTimeConfig) *LeadTimeResult {
+	cfg.applyDefaults()
+	n, m := len(cfg.Profiles), len(cfg.Horizons)
+	res := &LeadTimeResult{
+		Profiles:       cfg.Profiles,
+		History:        cfg.History,
+		Horizons:       cfg.Horizons,
+		Samples:        make([]int, n),
+		LaggedSamples:  make([][]int, n),
+		Baseline:       make([]float64, n),
+		Accuracy:       make([][]float64, n),
+		AlarmPrecision: make([][]float64, n),
+		AlarmRecall:    make([][]float64, n),
+		WeightsDigest:  make([]string, n),
+	}
+
+	for i, profile := range cfg.Profiles {
+		ds := leadtimeDataset(cfg, profile)
+		res.Samples[i] = ds.Len()
+
+		_, cm, err := core.TrainFrameworkE(ds, core.FrameworkConfig{
+			Seed:  cfg.Seed,
+			Train: ml.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: leadtime baseline on %s: %v", profile, err))
+		}
+		res.Baseline[i] = cm.Accuracy()
+
+		fc, cms, err := core.TrainForecasterCtx(context.Background(), ds, core.ForecasterConfig{
+			Forecast: forecast.Config{History: cfg.History, Horizons: cfg.Horizons},
+			Train:    ml.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed},
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: leadtime forecaster on %s: %v", profile, err))
+		}
+		res.LaggedSamples[i] = make([]int, m)
+		res.Accuracy[i] = make([]float64, m)
+		res.AlarmPrecision[i] = make([]float64, m)
+		res.AlarmRecall[i] = make([]float64, m)
+		for j, k := range cfg.Horizons {
+			res.LaggedSamples[i][j] = forecast.BuildLagged(ds, cfg.History, k).Len()
+			res.Accuracy[i][j] = cms[j].Accuracy()
+			res.AlarmPrecision[i][j] = cms[j].Precision(1)
+			res.AlarmRecall[i][j] = cms[j].Recall(1)
+		}
+		res.WeightsDigest[i] = weightsDigest(fc.ExportWeights())
+	}
+	return res
+}
+
+// Delta returns Accuracy[i][j] - Baseline[i]: what forecasting Horizons[j]
+// windows ahead costs (negative) or gains over classifying the current
+// window.
+func (r *LeadTimeResult) Delta(i, j int) float64 {
+	return r.Accuracy[i][j] - r.Baseline[i]
+}
+
+// Render draws one lead-time-vs-accuracy table per profile, k=0 baseline
+// row first.
+func (r *LeadTimeResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Forecast lead time vs accuracy (history %d windows)\n", r.History)
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "\nProfile %s (%d windows, forecaster %s)\n", p, r.Samples[i], r.WeightsDigest[i])
+		fmt.Fprintf(&b, "%-10s%10s%10s%10s%12s%12s\n",
+			"lead", "samples", "accuracy", "delta", "alarm-prec", "alarm-rec")
+		fmt.Fprintf(&b, "%-10s%10d%10.3f%10s%12s%12s\n",
+			"now", r.Samples[i], r.Baseline[i], "-", "-", "-")
+		for j, k := range r.Horizons {
+			fmt.Fprintf(&b, "%-10s%10d%10.3f%+10.3f%12.3f%12.3f\n",
+				fmt.Sprintf("+%dw", k), r.LaggedSamples[i][j], r.Accuracy[i][j],
+				r.Delta(i, j), r.AlarmPrecision[i][j], r.AlarmRecall[i][j])
+		}
+	}
+	return b.String()
+}
+
+// CSV emits one row per (profile, horizon) point — horizon 0 is the
+// current-window baseline — plus one digest row per profile.
+func (r *LeadTimeResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("profile,horizon,samples,accuracy,delta_vs_now,alarm_precision,alarm_recall\n")
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "%s,0,%d,%.4f,0.0000,,\n", p, r.Samples[i], r.Baseline[i])
+		for j, k := range r.Horizons {
+			fmt.Fprintf(&b, "%s,%d,%d,%.4f,%+.4f,%.4f,%.4f\n",
+				p, k, r.LaggedSamples[i][j], r.Accuracy[i][j], r.Delta(i, j),
+				r.AlarmPrecision[i][j], r.AlarmRecall[i][j])
+		}
+	}
+	for i, p := range r.Profiles {
+		fmt.Fprintf(&b, "digest,%s,%s\n", p, r.WeightsDigest[i])
+	}
+	return b.String()
+}

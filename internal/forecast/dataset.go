@@ -1,0 +1,105 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/monitor/window"
+)
+
+// Pool collapses one window matrix to its per-window summary row: for each
+// feature, the mean and the max across targets. The mean matches how
+// FitScaler and the drift detector pool targets; the max keeps the hottest
+// server visible after aggregation (interference often saturates one OST
+// before it moves the mean).
+func Pool(mat window.Matrix) []float64 {
+	return PoolInto(make([]float64, 2*len(mat[0])), mat)
+}
+
+// PoolInto is Pool writing into caller-owned scratch (len 2*features);
+// returns dst.
+func PoolInto(dst []float64, mat window.Matrix) []float64 {
+	nf := len(mat[0])
+	for j := 0; j < nf; j++ {
+		sum, max := 0.0, math.Inf(-1)
+		for _, row := range mat {
+			x := row[j]
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		dst[2*j] = sum / float64(len(mat))
+		dst[2*j+1] = max
+	}
+	return dst
+}
+
+// PoolNames derives the pooled schema from the raw feature names, in
+// PoolInto's layout: mean and max adjacent per feature.
+func PoolNames(features []string) []string {
+	out := make([]string, 0, 2*len(features))
+	for _, f := range features {
+		out = append(out, f+"_mean", f+"_max")
+	}
+	return out
+}
+
+// BuildLagged turns a window-labeled dataset (core.CollectDatasetCtx's
+// output) into the lead-labeled lagged dataset one forecast head trains on:
+// for every stretch of history consecutive windows within one (workload,
+// run) whose window horizon steps past the stretch is also present, it emits
+// one sample whose vectors are the history pooled window rows (oldest first,
+// so the sequence reads forward) and whose label and degradation come from
+// the future window. Windows dropped by the collector's min-ops filter break
+// stretches rather than silently bridging a gap, so every emitted sample is
+// a temporally honest "past H windows -> window +k" pair.
+//
+// Samples are emitted in the source dataset's order (keyed by the stretch's
+// last window), so the builder is deterministic for a deterministic input.
+func BuildLagged(ds *dataset.Dataset, history, horizon int) *dataset.Dataset {
+	if history < 1 || horizon < 1 {
+		panic(fmt.Sprintf("forecast: bad lag shape history=%d horizon=%d", history, horizon))
+	}
+	out := dataset.New(PoolNames(ds.FeatureNames), history, ds.Classes)
+	out.Profile = ds.Profile
+
+	type runKey struct{ workload, run string }
+	byWindow := make(map[runKey]map[int]*dataset.Sample)
+	for _, s := range ds.Samples {
+		k := runKey{s.Workload, s.Run}
+		if byWindow[k] == nil {
+			byWindow[k] = make(map[int]*dataset.Sample)
+		}
+		byWindow[k][s.Window] = s
+	}
+
+	for _, s := range ds.Samples {
+		run := byWindow[runKey{s.Workload, s.Run}]
+		lead, ok := run[s.Window+horizon]
+		if !ok {
+			continue
+		}
+		vectors := make([][]float64, 0, history)
+		for w := s.Window - history + 1; w <= s.Window; w++ {
+			past, ok := run[w]
+			if !ok {
+				break
+			}
+			vectors = append(vectors, Pool(past.Vectors))
+		}
+		if len(vectors) != history {
+			continue
+		}
+		out.Add(&dataset.Sample{
+			Workload:    s.Workload,
+			Run:         s.Run,
+			Window:      s.Window, // forecast origin; the label is horizon ahead
+			Degradation: lead.Degradation,
+			Label:       lead.Label,
+			Vectors:     vectors,
+		})
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package forecast
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/label"
+	"quanterference/internal/ml"
+)
+
+// Format tags forecaster files so unrelated JSON is rejected with a
+// descriptive error instead of being decoded into garbage weights —
+// the forecaster sibling of core.FrameworkFormat.
+const Format = "quanterference.forecaster"
+
+// FormatVersion is bumped whenever the on-disk layout changes incompatibly.
+// Version history:
+//
+//	1 — format/version header; history, threshold, bins, per-horizon heads.
+const FormatVersion = 1
+
+type headSpec struct {
+	Horizon int             `json:"horizon"`
+	Model   *ml.ModelSpec   `json:"model"`
+	Scaler  *dataset.Scaler `json:"scaler"`
+}
+
+type forecasterSpec struct {
+	Format     string     `json:"format"`
+	Version    int        `json:"version"`
+	History    int        `json:"history"`
+	Threshold  int        `json:"threshold"`
+	Thresholds []float64  `json:"thresholds"` // label.Bins
+	Heads      []headSpec `json:"heads"`
+}
+
+// Save persists the forecaster (per-horizon weights, scalers, bins) as JSON
+// so forecasting can run in a later process (quantserve -forecast).
+func (f *Forecaster) Save(path string) error {
+	spec := forecasterSpec{
+		Format:     Format,
+		Version:    FormatVersion,
+		History:    f.History,
+		Threshold:  f.Threshold,
+		Thresholds: f.Bins.Thresholds,
+	}
+	for _, h := range f.Heads {
+		ms, err := ml.Snapshot(h.Model)
+		if err != nil {
+			return err
+		}
+		spec.Heads = append(spec.Heads, headSpec{Horizon: h.Horizon, Model: ms, Scaler: h.Scaler})
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return json.NewEncoder(file).Encode(spec)
+}
+
+// Load restores a forecaster written by Save. Files without the format
+// header or with a version this build does not read return an error
+// wrapping ErrBadSpec.
+func Load(path string) (*Forecaster, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var spec forecasterSpec
+	if err := json.NewDecoder(file).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSpec, path, err)
+	}
+	if spec.Format != Format {
+		return nil, fmt.Errorf("%w: %s: format %q, want %q", ErrBadSpec, path, spec.Format, Format)
+	}
+	if spec.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: %s: format version %d, this build reads version %d",
+			ErrBadSpec, path, spec.Version, FormatVersion)
+	}
+	if spec.History < 1 || len(spec.Heads) == 0 {
+		return nil, fmt.Errorf("%w: %s: history %d with %d heads",
+			ErrBadSpec, path, spec.History, len(spec.Heads))
+	}
+	f := &Forecaster{
+		History:   spec.History,
+		Threshold: spec.Threshold,
+		Bins:      label.Bins{Thresholds: spec.Thresholds},
+	}
+	for _, hs := range spec.Heads {
+		m, err := ml.Restore(hs.Model)
+		if err != nil {
+			return nil, err
+		}
+		f.Heads = append(f.Heads, &Head{Horizon: hs.Horizon, Model: m, Scaler: hs.Scaler})
+	}
+	return f, nil
+}

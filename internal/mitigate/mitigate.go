@@ -9,6 +9,7 @@
 package mitigate
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -25,6 +26,11 @@ import (
 // sentinel.
 const EngageAlways = -1
 
+// ErrInvalidConfig reports a Config that New refuses to run with — the
+// mitigation sibling of core.ErrInvalidScenario. Match with errors.Is; the
+// returned error wraps it with the offending field.
+var ErrInvalidConfig = errors.New("mitigate: invalid config")
+
 // Config tunes the controller.
 type Config struct {
 	// EngageClass is the minimum predicted class that triggers throttling
@@ -39,13 +45,29 @@ type Config struct {
 	ReleaseAfter int
 }
 
+// validate rejects field values that defaulting used to paper over: only
+// EngageAlways (-1) is a legal negative EngageClass — a typo'd -5 used to be
+// silently rewritten to class 0, turning the controller into an
+// always-throttle one nobody asked for.
+func (c *Config) validate() error {
+	if c.EngageClass < EngageAlways {
+		return fmt.Errorf("%w: EngageClass %d (want a class >= 0, 0 for the default, or EngageAlways)",
+			ErrInvalidConfig, c.EngageClass)
+	}
+	if c.ThrottleBps < 0 {
+		return fmt.Errorf("%w: negative ThrottleBps %g", ErrInvalidConfig, c.ThrottleBps)
+	}
+	if c.ReleaseAfter < 0 {
+		return fmt.Errorf("%w: negative ReleaseAfter %d", ErrInvalidConfig, c.ReleaseAfter)
+	}
+	return nil
+}
+
 func (c *Config) applyDefaults() {
-	switch {
-	case c.EngageClass == 0:
+	switch c.EngageClass {
+	case 0:
 		c.EngageClass = 1
-	case c.EngageClass <= EngageAlways:
-		// Previously any negative value survived defaulting but could never
-		// be distinguished from a typo; now it explicitly means class 0.
+	case EngageAlways:
 		c.EngageClass = 0
 	}
 	if c.ThrottleBps == 0 {
@@ -80,15 +102,20 @@ type Controller struct {
 // New attaches a controller to a live cluster. fw is the trained framework;
 // record must be wired into the protected workload's Runner.OnRecord (use
 // Record below); victims are the clients to throttle when interference is
-// predicted to hurt the protected application.
-func New(cl *core.Cluster, fw *core.Framework, victims []*lustre.Client, windowSize sim.Time, cfg Config) *Controller {
+// predicted to hurt the protected application. A Config that names an
+// impossible engage class (any negative other than EngageAlways) or negative
+// rates returns an error wrapping ErrInvalidConfig.
+func New(cl *core.Cluster, fw *core.Framework, victims []*lustre.Client, windowSize sim.Time, cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	c := &Controller{cfg: cfg, fw: fw, victims: victims}
 	c.mon = core.AttachLive(cl, windowSize, func(idx int, mat window.Matrix) {
 		class, _ := fw.Predict(mat)
 		c.decide(cl.Eng.Now(), idx, class)
 	})
-	return c
+	return c, nil
 }
 
 // Record is the client-monitor hook for the protected workload.

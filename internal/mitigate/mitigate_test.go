@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"errors"
 	"testing"
 
 	"quanterference/internal/core"
@@ -48,6 +49,16 @@ func stubFramework() *core.Framework {
 	}
 }
 
+// mustNew is New for tests with configs that must be valid.
+func mustNew(t *testing.T, cl *core.Cluster, fw *core.Framework, victims []*lustre.Client, windowSize sim.Time, cfg Config) *Controller {
+	t.Helper()
+	ctrl, err := New(cl, fw, victims, windowSize, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ctrl
+}
+
 // readRecord fabricates one read record targeting OST 0 in the given window.
 func readRecord(windowIdx, seq int) workload.Record {
 	start := sim.Time(windowIdx)*sim.Second + sim.Time(seq+1)*sim.Millisecond
@@ -63,7 +74,7 @@ func TestControllerEngagesAndReleases(t *testing.T) {
 	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
 	fw := stubFramework()
 	victim := cl.FS.Client("c1")
-	ctrl := New(cl, fw, []*lustre.Client{victim}, sim.Second, Config{
+	ctrl := mustNew(t, cl, fw, []*lustre.Client{victim}, sim.Second, Config{
 		ThrottleBps: 1e6, ReleaseAfter: 2,
 	})
 	// Windows 0 and 1 look interfered (10 reads each); windows 2+ are
@@ -108,7 +119,7 @@ func TestControllerEngagesAndReleases(t *testing.T) {
 
 func TestControllerReEngages(t *testing.T) {
 	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
-	ctrl := New(cl, stubFramework(), []*lustre.Client{cl.FS.Client("c1")}, sim.Second,
+	ctrl := mustNew(t, cl, stubFramework(), []*lustre.Client{cl.FS.Client("c1")}, sim.Second,
 		Config{ReleaseAfter: 1})
 	// Hot window 0, clean 1, hot 2.
 	for s := 0; s < 10; s++ {
@@ -130,7 +141,9 @@ func TestControllerReEngages(t *testing.T) {
 
 // Regression: EngageClass 0 used to be silently rewritten to 1 by
 // applyDefaults, making "engage on every prediction" impossible to request.
-// The EngageAlways sentinel now maps to a real threshold of 0.
+// The EngageAlways sentinel now maps to a real threshold of 0 — and ONLY the
+// sentinel: any other negative value (a typo'd -5) used to silently become
+// the always-throttle configuration and must now be rejected.
 func TestEngageAlwaysSentinel(t *testing.T) {
 	cases := []struct {
 		name string
@@ -140,11 +153,13 @@ func TestEngageAlwaysSentinel(t *testing.T) {
 		{"zero-means-default", 0, 1},
 		{"explicit-class", 2, 2},
 		{"engage-always", EngageAlways, 0},
-		{"more-negative-still-always", -7, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := Config{EngageClass: tc.in}
+			if err := cfg.validate(); err != nil {
+				t.Fatalf("validate rejected legal EngageClass %d: %v", tc.in, err)
+			}
 			cfg.applyDefaults()
 			if cfg.EngageClass != tc.want {
 				t.Fatalf("EngageClass %d defaulted to %d, want %d", tc.in, cfg.EngageClass, tc.want)
@@ -153,10 +168,37 @@ func TestEngageAlwaysSentinel(t *testing.T) {
 	}
 }
 
+// TestNewRejectsInvalidConfig pins the typed-error contract: New refuses
+// negative engage classes other than the sentinel (and negative rates), with
+// an error matching ErrInvalidConfig.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"typoed-engage-class", Config{EngageClass: -5}},
+		{"negative-throttle", Config{ThrottleBps: -1}},
+		{"negative-release", Config{ReleaseAfter: -2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctrl, err := New(cl, stubFramework(), nil, sim.Second, tc.cfg)
+			if err == nil {
+				ctrl.Stop()
+				t.Fatalf("New accepted %+v", tc.cfg)
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %v does not match ErrInvalidConfig", err)
+			}
+		})
+	}
+}
+
 func TestEngageAlwaysThrottlesOnCleanPredictions(t *testing.T) {
 	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
 	victim := cl.FS.Client("c1")
-	ctrl := New(cl, stubFramework(), []*lustre.Client{victim}, sim.Second,
+	ctrl := mustNew(t, cl, stubFramework(), []*lustre.Client{victim}, sim.Second,
 		Config{EngageClass: EngageAlways})
 	// Class-0 prediction: an EngageAlways controller must still throttle.
 	ctrl.decide(cl.Eng.Now(), 0, 0)
@@ -169,7 +211,7 @@ func TestEngageAlwaysThrottlesOnCleanPredictions(t *testing.T) {
 func TestControllerStopRemovesLimits(t *testing.T) {
 	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
 	victim := cl.FS.Client("c1")
-	ctrl := New(cl, stubFramework(), []*lustre.Client{victim}, sim.Second, Config{})
+	ctrl := mustNew(t, cl, stubFramework(), []*lustre.Client{victim}, sim.Second, Config{})
 	ctrl.decide(cl.Eng.Now(), 0, 1)
 	if !victim.RateLimited() {
 		t.Fatal("engage did not limit victim")

@@ -60,9 +60,13 @@ func (b *Buffer) Seen() int { return b.seen }
 
 // Dataset assembles the resident examples into a dataset with the given
 // schema, in slot order (deterministic for a deterministic offer sequence).
-// Vectors are shared with the buffered matrices, which stay read-only.
-func (b *Buffer) Dataset(featureNames []string, nTargets, classes int) *dataset.Dataset {
+// profile stamps the dataset with the hardware profile the stream runs on,
+// so retrain datasets merge cleanly with offline ones instead of reading as
+// unstamped. Vectors are shared with the buffered matrices, which stay
+// read-only.
+func (b *Buffer) Dataset(featureNames []string, nTargets, classes int, profile string) *dataset.Dataset {
 	ds := dataset.New(featureNames, nTargets, classes)
+	ds.Profile = profile
 	for _, ex := range b.items {
 		ds.Add(&dataset.Sample{
 			Run:         "online",

@@ -112,10 +112,17 @@ type Detector struct {
 
 	// Streaming distribution state: every per-target row of every observed
 	// window is one observation, matching how FitScaler pooled targets.
-	nWin  int
-	n     float64
-	sum   []float64
-	sumSq []float64
+	// Moments are kept in Welford form (running mean + sum of squared
+	// deviations M2) rather than raw sum/sumSq: the single-pass
+	// sumSq/n - mean^2 formula cancels catastrophically for large-magnitude
+	// features (byte/op counters around 1e9 square to 1e18, where one float64
+	// ulp is 128 — any real variance below that computes as 0 or negative),
+	// which silently disabled the variance-ratio drift signal on exactly the
+	// high-volume counters it exists to watch.
+	nWin int
+	n    float64
+	mean []float64
+	m2   []float64 // per-feature sum of squared deviations from the mean
 
 	// Rolling quality ring.
 	correct []bool
@@ -145,8 +152,8 @@ func (d *Detector) Reset(ref *dataset.Scaler, refAccuracy float64) {
 	d.refS = append(d.refS[:0], ref.Std...)
 	d.refAcc = refAccuracy
 	d.nWin, d.n = 0, 0
-	d.sum = make([]float64, len(ref.Mean))
-	d.sumSq = make([]float64, len(ref.Mean))
+	d.mean = make([]float64, len(ref.Mean))
+	d.m2 = make([]float64, len(ref.Mean))
 	d.correct = d.correct[:0]
 	d.ces = d.ces[:0]
 	d.labeled = 0
@@ -160,11 +167,12 @@ func (d *Detector) ObserveWindow(mat window.Matrix) {
 			panic(fmt.Sprintf("online: window row has %d features, reference has %d",
 				len(row), len(d.refM)))
 		}
-		for f, x := range row {
-			d.sum[f] += x
-			d.sumSq[f] += x * x
-		}
 		d.n++
+		for f, x := range row {
+			delta := x - d.mean[f]
+			d.mean[f] += delta / d.n
+			d.m2[f] += delta * (x - d.mean[f])
+		}
 	}
 	d.nWin++
 }
@@ -191,11 +199,8 @@ func (d *Detector) Score() Score {
 	if d.nWin >= d.cfg.MinWindows && d.n > 1 {
 		drifted := 0
 		for f := range d.refM {
-			mean := d.sum[f] / d.n
-			variance := d.sumSq[f]/d.n - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
+			mean := d.mean[f]
+			variance := d.m2[f] / d.n // population variance, like FitScaler
 			effect := math.Abs(mean-d.refM[f]) / d.refS[f]
 			z := effect * math.Sqrt(d.n)
 			if z > s.MaxZ {

@@ -1,0 +1,114 @@
+package online
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"quanterference/internal/dataset"
+	"quanterference/internal/forecast"
+	"quanterference/internal/label"
+	"quanterference/internal/ml"
+	"quanterference/internal/sim"
+)
+
+// loopForecaster builds a small forecaster over the loop's test shape
+// (testFeat raw features). Threshold 0 makes every prediction "degrading" at
+// the first horizon, so the decision-annotation path is deterministic.
+func loopForecaster(history, threshold int, horizons []int) *forecast.Forecaster {
+	f := &forecast.Forecaster{History: history, Threshold: threshold, Bins: label.BinaryBins()}
+	for _, k := range horizons {
+		scaler := &dataset.Scaler{Mean: make([]float64, 2*testFeat), Std: make([]float64, 2*testFeat)}
+		for j := range scaler.Std {
+			scaler.Std[j] = 1
+		}
+		f.Heads = append(f.Heads, &forecast.Head{
+			Horizon: k,
+			Model: ml.NewKernelModel(ml.KernelConfig{
+				NTargets: history, NFeat: 2 * testFeat, Classes: 2, Seed: 5 + int64(k),
+			}),
+			Scaler: scaler,
+		})
+	}
+	return f
+}
+
+// TestLoopForecasts: a loop with a forecaster annotates every decision once
+// the window history is warm — Forecast nil for the first History-1 steps,
+// non-nil after, with the forecasts counter and lead gauge tracking it. With
+// Threshold 0 the decision string cites the predicted lead.
+func TestLoopForecasts(t *testing.T) {
+	fw := trainedFramework(t, 1)
+	cfg := quickConfig(7)
+	cfg.Forecaster = loopForecaster(3, 0, []int{1, 2})
+	l, err := NewLoop(&fakePromoter{fw: fw}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := sim.NewRNG(3)
+	for i := 0; i < 6; i++ {
+		l.OfferWindow(driftedMatrix(rng))
+		d, err := l.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := i >= 2 // 3-window history
+		if got := d.Forecast != nil; got != warm {
+			t.Fatalf("step %d: Forecast non-nil = %v, want %v", i, got, warm)
+		}
+		if !warm {
+			continue
+		}
+		if len(d.Forecast.Horizons) != 2 || d.Forecast.LeadWindows != 1 {
+			t.Fatalf("step %d forecast %+v", i, d.Forecast)
+		}
+		if !d.Forecast.Degrading() {
+			t.Fatalf("step %d: threshold 0 must always predict degradation", i)
+		}
+		if s := d.String(); !strings.Contains(s, "degradation predicted in 1 window") {
+			t.Fatalf("decision string %q does not cite the forecast", s)
+		}
+	}
+
+	snap := l.Stats()
+	if v, _ := snap.Counter("online", "", "forecasts"); v != 4 {
+		t.Fatalf("forecasts counter = %d, want 4", v)
+	}
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Key.Component == "online" && g.Key.Name == "forecast_lead_windows" {
+			found = true
+			if g.Value != 1 {
+				t.Fatalf("lead gauge = %g, want 1", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("forecast_lead_windows gauge not exported")
+	}
+}
+
+// TestLoopWithoutForecaster pins the default: no forecaster, no Forecast on
+// any decision, and the plain decision string is unchanged.
+func TestLoopWithoutForecaster(t *testing.T) {
+	fw := trainedFramework(t, 1)
+	l, err := NewLoop(&fakePromoter{fw: fw}, quickConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 5; i++ {
+		l.OfferWindow(driftedMatrix(rng))
+		d, err := l.Step(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Forecast != nil {
+			t.Fatalf("step %d grew a forecast without a forecaster", i)
+		}
+		if strings.Contains(d.String(), "degradation predicted") {
+			t.Fatalf("decision string cites a forecast: %q", d.String())
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"quanterference/internal/core"
+	"quanterference/internal/forecast"
 	"quanterference/internal/ml"
 	"quanterference/internal/monitor/window"
 	"quanterference/internal/obs"
@@ -58,6 +59,17 @@ type Config struct {
 	// MinExamples is how many buffered examples a retrain needs; drift trips
 	// below it stay pending until enough labels arrive (default 32).
 	MinExamples int
+	// Profile names the hardware profile the stream's windows come from
+	// (default "paper"); retrain datasets assembled from the reservoir are
+	// stamped with it, so online-retrained data merges cleanly with offline
+	// collections instead of reading as unstamped.
+	Profile string
+	// Forecaster, when set, is fed every OfferWindow matrix through a
+	// sliding history tracker; once warm, each Step's Decision carries its
+	// latest Prediction, so drift decisions can cite "degradation predicted
+	// in k windows". The Loop owns it (single-goroutine scratch) — clone
+	// before sharing one with a serving layer.
+	Forecaster *forecast.Forecaster
 	// Drift tunes the detector, Gate the promotion gate, Train the retrain
 	// (epochs, LR, Workers — warm starts reuse the incumbent architecture).
 	Drift DriftConfig
@@ -74,6 +86,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MinExamples == 0 {
 		c.MinExamples = 32
+	}
+	if c.Profile == "" {
+		c.Profile = "paper"
 	}
 	c.Gate.applyDefaults()
 	if c.Sink == nil {
@@ -113,6 +128,11 @@ type Decision struct {
 	// Action is the verdict; Score the drift evaluation behind it.
 	Action Action
 	Score  Score
+	// Forecast is the loop forecaster's latest prediction (nil when no
+	// forecaster is configured or its window history is not yet warm): the
+	// slowdown class k windows ahead per horizon, and the derived
+	// time-to-degradation.
+	Forecast *forecast.Prediction
 	// Gate and CandidateWeights are set when a retrain ran: the gate verdict
 	// and the candidate's bit-exact weight snapshot (the determinism tests
 	// compare these across same-seed runs).
@@ -125,17 +145,23 @@ type Decision struct {
 
 // String renders the decision for logs.
 func (d Decision) String() string {
+	var s string
 	if d.Gate == nil {
 		if d.Score.Drifted {
-			return fmt.Sprintf("w%d none (drift %q pending examples)", d.Window, d.Score.Reason)
+			s = fmt.Sprintf("w%d none (drift %q pending examples)", d.Window, d.Score.Reason)
+		} else {
+			s = fmt.Sprintf("w%d none", d.Window)
 		}
-		return fmt.Sprintf("w%d none", d.Window)
+	} else {
+		s = fmt.Sprintf("w%d %s (drift %q, cand %.3f vs inc %.3f on %d held out, margin %g)",
+			d.Window, d.Action, d.Score.Reason,
+			d.Gate.CandidateAccuracy, d.Gate.IncumbentAccuracy, d.Gate.Holdout, d.Gate.Margin)
+		if d.Rollback {
+			s += " [rollback: reload refused]"
+		}
 	}
-	s := fmt.Sprintf("w%d %s (drift %q, cand %.3f vs inc %.3f on %d held out, margin %g)",
-		d.Window, d.Action, d.Score.Reason,
-		d.Gate.CandidateAccuracy, d.Gate.IncumbentAccuracy, d.Gate.Holdout, d.Gate.Margin)
-	if d.Rollback {
-		s += " [rollback: reload refused]"
+	if d.Forecast != nil && d.Forecast.Degrading() {
+		s += fmt.Sprintf(" [degradation predicted in %d window(s)]", d.Forecast.LeadWindows)
 	}
 	return s
 }
@@ -154,6 +180,7 @@ type Loop struct {
 	refAcc    float64
 	det       *Detector
 	buf       *Buffer
+	tracker   *forecast.Tracker // nil unless Config.Forecaster is set
 	retrains  int
 
 	mWindows    *obs.Counter
@@ -163,7 +190,9 @@ type Loop struct {
 	mPromotions *obs.Counter
 	mRejections *obs.Counter
 	mRollbacks  *obs.Counter
+	mForecasts  *obs.Counter
 	gBuffer     *obs.Gauge
+	gLead       *obs.Gauge
 	hDriftFrac  *obs.Histogram
 	hRollAcc    *obs.Histogram
 	hGateAcc    *obs.Histogram
@@ -194,11 +223,16 @@ func NewLoop(p Promoter, cfg Config) (*Loop, error) {
 		mPromotions: cfg.Sink.Counter("online", "", "promotions"),
 		mRejections: cfg.Sink.Counter("online", "", "rejections"),
 		mRollbacks:  cfg.Sink.Counter("online", "", "rollbacks"),
+		mForecasts:  cfg.Sink.Counter("online", "", "forecasts"),
 		gBuffer:     cfg.Sink.Gauge("online", "", "buffer_fill"),
+		gLead:       cfg.Sink.Gauge("online", "", "forecast_lead_windows"),
 		hDriftFrac:  cfg.Sink.Histogram("online", "", "feature_drift_frac", obs.UnitBuckets()),
 		hRollAcc:    cfg.Sink.Histogram("online", "", "rolling_accuracy", obs.UnitBuckets()),
 		hGateAcc:    cfg.Sink.Histogram("online", "", "gate_candidate_accuracy", obs.UnitBuckets()),
 		hRetrainNS:  cfg.Sink.Histogram("online", "", "retrain_ns", obs.TimeBuckets()),
+	}
+	if cfg.Forecaster != nil {
+		l.tracker = forecast.NewTracker(cfg.Forecaster)
 	}
 	return l, nil
 }
@@ -222,6 +256,9 @@ func (l *Loop) SetGateMargin(m float64) { l.cfg.Gate.Margin = m }
 // stream.
 func (l *Loop) OfferWindow(mat window.Matrix) {
 	l.det.ObserveWindow(mat)
+	if l.tracker != nil {
+		l.tracker.Offer(mat)
+	}
 	l.mWindows.Inc()
 }
 
@@ -251,6 +288,15 @@ func (l *Loop) Step(ctx context.Context) (Decision, error) {
 		l.hRollAcc.Observe(score.RollingAccuracy)
 	}
 	d := Decision{Window: -1, Action: ActionNone, Score: score}
+	if l.tracker != nil && l.tracker.Ready() {
+		p, err := l.tracker.Predict()
+		if err != nil {
+			return d, fmt.Errorf("online: forecast: %w", err)
+		}
+		d.Forecast = p
+		l.mForecasts.Inc()
+		l.gLead.Set(float64(p.LeadWindows))
+	}
 	if !score.Drifted || l.buf.Len() < l.cfg.MinExamples {
 		return d, nil
 	}
@@ -318,7 +364,7 @@ func (l *Loop) retrain(ctx context.Context) (*core.Framework, GateResult, error)
 			names[i] = fmt.Sprintf("f%d", i)
 		}
 	}
-	ds := l.buf.Dataset(names, nTargets, l.incumbent.Classes())
+	ds := l.buf.Dataset(names, nTargets, l.incumbent.Classes(), l.cfg.Profile)
 	trainDS, holdout := ds.Split(l.cfg.Gate.HoldFrac, seed^0x60a7)
 	if trainDS.Len() == 0 || holdout.Len() == 0 {
 		return nil, GateResult{}, fmt.Errorf("online: degenerate holdout split (%d train / %d held out of %d)",

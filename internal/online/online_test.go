@@ -383,9 +383,12 @@ func TestBufferDataset(t *testing.T) {
 		b.Offer(Example{Window: i, Matrix: mat, Degradation: 2.5, Label: 1})
 	}
 	names := []string{"a", "b", "c", "d", "e"}
-	ds := b.Dataset(names, testTargets, 2)
+	ds := b.Dataset(names, testTargets, 2, "nvme")
 	if ds.Len() != 5 || ds.NTargets != testTargets || ds.Classes != 2 {
 		t.Fatalf("dataset %d samples, %d targets, %d classes", ds.Len(), ds.NTargets, ds.Classes)
+	}
+	if ds.Profile != "nvme" {
+		t.Fatalf("buffer dataset profile %q, want the loop's stamp", ds.Profile)
 	}
 	for i, s := range ds.Samples {
 		if s.Window != i || s.Label != 1 {

@@ -2,6 +2,49 @@ package serve
 
 import "time"
 
+// gatherQueue collects requests after the first until the batch is full, the
+// batch window elapses, or shutdown begins (which flushes immediately —
+// queued stragglers are answered by drainQueue). Generic so the prediction
+// and forecast batchers share one gathering policy.
+func gatherQueue[R any](queue <-chan R, first R, maxBatch int, window time.Duration, stop <-chan struct{}) []R {
+	batch := append(make([]R, 0, maxBatch), first)
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	for len(batch) < maxBatch {
+		select {
+		case req := <-queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainQueue answers everything still queued at shutdown, in full batches.
+// Requests whose callers already gave up (context canceled between enqueue
+// and gather) are still answered into their buffered channels, so no sender
+// ever blocks and no request is dropped.
+func drainQueue[R any](queue <-chan R, maxBatch int, run func([]R)) {
+	for {
+		batch := make([]R, 0, maxBatch)
+		for len(batch) < maxBatch {
+			select {
+			case req := <-queue:
+				batch = append(batch, req)
+			default:
+				if len(batch) > 0 {
+					run(batch)
+				}
+				return
+			}
+		}
+		run(batch)
+	}
+}
+
 // batcher is the single goroutine with the right to touch a Framework's
 // prediction scratch. It blocks for the first request, gathers more until
 // MaxBatch or BatchWindow, and answers the whole batch from one PredictBatch
@@ -14,50 +57,28 @@ func (s *Server) batcher() {
 		select {
 		case first = <-s.queue:
 		case <-s.stop:
-			s.drain()
+			drainQueue(s.queue, s.cfg.MaxBatch, s.runBatch)
 			return
 		}
-		batch := s.gather(first)
-		s.runBatch(batch)
+		s.runBatch(gatherQueue(s.queue, first, s.cfg.MaxBatch, s.cfg.BatchWindow, s.stop))
 	}
 }
 
-// gather collects requests after the first until the batch is full, the
-// batch window elapses, or shutdown begins (which flushes immediately —
-// queued stragglers are answered by drain).
-func (s *Server) gather(first *request) []*request {
-	batch := append(make([]*request, 0, s.cfg.MaxBatch), first)
-	timer := time.NewTimer(s.cfg.BatchWindow)
-	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case req := <-s.queue:
-			batch = append(batch, req)
-		case <-timer.C:
-			return batch
-		case <-s.stop:
-			return batch
-		}
-	}
-	return batch
-}
-
-// drain answers everything still queued at shutdown, in full batches.
-func (s *Server) drain() {
+// fbatcher is batcher's forecast twin: the single goroutine with the right
+// to touch the Forecaster's pooling/scaling scratch. It runs even when no
+// forecaster is loaded yet (admission rejects requests until one is), so a
+// later ReloadForecaster needs no goroutine surgery.
+func (s *Server) fbatcher() {
+	defer close(s.fdone)
 	for {
-		batch := make([]*request, 0, s.cfg.MaxBatch)
-		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case req := <-s.queue:
-				batch = append(batch, req)
-			default:
-				if len(batch) > 0 {
-					s.runBatch(batch)
-				}
-				return
-			}
+		var first *frequest
+		select {
+		case first = <-s.fqueue:
+		case <-s.stop:
+			drainQueue(s.fqueue, s.cfg.MaxBatch, s.runForecastBatch)
+			return
 		}
-		s.runBatch(batch)
+		s.runForecastBatch(gatherQueue(s.fqueue, first, s.cfg.MaxBatch, s.cfg.BatchWindow, s.stop))
 	}
 }
 
@@ -84,4 +105,29 @@ func (s *Server) runBatch(batch []*request) {
 		// batch, but the caller's slice must stay valid indefinitely.
 		req.resp <- response{class: cls[i], probs: append([]float64(nil), probs[i]...)}
 	}
+}
+
+// runForecastBatch answers one gathered forecast batch. There is no batched
+// entry point on the Forecaster (each request carries a whole history), so
+// the batch's value is serializing scratch access and amortizing wakeups;
+// predictions are freshly allocated per request, so handing them to callers
+// is safe.
+func (s *Server) runForecastBatch(batch []*frequest) {
+	fc := s.fc.Load()
+	start := time.Now()
+	for _, req := range batch {
+		s.hQueueNS.Observe(float64(time.Since(req.enq)))
+		if fc == nil {
+			// Admitted before a concurrent forecaster teardown could not
+			// happen (reload never clears the pointer), but stay defensive:
+			// answer rather than strand the caller.
+			req.resp <- fresponse{err: ErrNoForecaster}
+			continue
+		}
+		pred, err := fc.Predict(req.hist)
+		req.resp <- fresponse{pred: pred, err: err}
+	}
+	s.hModelNS.Observe(float64(time.Since(start)))
+	s.mBatches.Inc()
+	s.hFBatch.Observe(float64(len(batch)))
 }

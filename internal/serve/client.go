@@ -101,6 +101,10 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 				return fmt.Errorf("%w: %s %s: %s (HTTP %d)",
 					ErrBadInput, req.Method, req.URL.Path, e.Error, resp.StatusCode)
 			}
+			if e.Code == codeNoForecaster {
+				return fmt.Errorf("%w: %s %s: %s (HTTP %d)",
+					ErrNoForecaster, req.Method, req.URL.Path, e.Error, resp.StatusCode)
+			}
 			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("serve: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
@@ -115,6 +119,21 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 func (c *Client) Predict(ctx context.Context, mat window.Matrix) (*PredictResponse, error) {
 	var out PredictResponse
 	if err := c.post(ctx, "/predict", PredictRequest{Matrix: mat}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Forecast predicts slowdown ahead of time from the last History raw window
+// matrices (oldest first). Servers without a forecaster return an error
+// matching ErrNoForecaster.
+func (c *Client) Forecast(ctx context.Context, history []window.Matrix) (*ForecastResponse, error) {
+	hist := make([][][]float64, len(history))
+	for i, mat := range history {
+		hist[i] = mat
+	}
+	var out ForecastResponse
+	if err := c.post(ctx, "/forecast", ForecastRequest{History: hist}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -24,6 +24,26 @@ type PredictResponse struct {
 	Probs []float64 `json:"probs"`
 }
 
+// ForecastRequest is the /forecast request body: the last History raw window
+// matrices, oldest first — [windows][targets][features].
+type ForecastRequest struct {
+	History [][][]float64 `json:"history"`
+}
+
+// ForecastResponse is the /forecast response body: one predicted class and
+// distribution per horizon, plus the derived time-to-degradation.
+type ForecastResponse struct {
+	// Horizons, Classes, Labels, and Probs are parallel: Classes[i] is the
+	// predicted slowdown class Horizons[i] windows ahead.
+	Horizons []int       `json:"horizons"`
+	Classes  []int       `json:"classes"`
+	Labels   []string    `json:"labels"`
+	Probs    [][]float64 `json:"probs"`
+	// LeadWindows is the smallest horizon predicting degradation (0 = none).
+	LeadWindows int  `json:"lead_windows"`
+	Degrading   bool `json:"degrading"`
+}
+
 // Health is the /healthz response body: liveness plus the loaded model's
 // shape, enough for a client to validate inputs and reconstruct label.Bins.
 type Health struct {
@@ -35,6 +55,10 @@ type Health struct {
 	Classes  int `json:"classes"`
 	// Thresholds are the degradation bin edges (label.Bins.Thresholds).
 	Thresholds []float64 `json:"thresholds"`
+	// ForecastHistory and ForecastHorizons describe the loaded forecaster
+	// (/forecast input shape); both absent when forecasting is disabled.
+	ForecastHistory  int   `json:"forecast_history,omitempty"`
+	ForecastHorizons []int `json:"forecast_horizons,omitempty"`
 }
 
 // retryAfterSeconds is the backoff hint attached to 503 responses (body and
@@ -53,6 +77,7 @@ const (
 	codeOverloaded   = "overloaded"
 	codeShuttingDown = "shutting_down"
 	codeBadInput     = "bad_input"
+	codeNoForecaster = "no_forecaster"
 )
 
 type errorResponse struct {
@@ -69,16 +94,44 @@ type errorResponse struct {
 // Handler returns the server's HTTP API:
 //
 //	POST /predict       {"matrix": [[...], ...]} -> PredictResponse
+//	POST /forecast      {"history": [[[...], ...], ...]} -> ForecastResponse
 //	GET  /healthz       -> Health
 //	GET  /stats         -> obs snapshot JSON (counters, batch histogram, latencies)
 //	POST /admin/reload  {"path": "..."} (optional body) -> {"reloaded": true}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/forecast", s.handleForecast)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	return mux
+}
+
+// writeServeError maps a Predict/Forecast error to its HTTP status and typed
+// body (the code constants clients rely on).
+func writeServeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	body := errorResponse{Error: err.Error()}
+	switch {
+	case errors.Is(err, ErrBadInput):
+		status = http.StatusBadRequest
+		body.Code = codeBadInput
+	case errors.Is(err, ErrNoForecaster):
+		status = http.StatusNotFound
+		body.Code = codeNoForecaster
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		body.Code = codeOverloaded
+		body.RetryAfterSeconds = retryAfterSeconds
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+		body.Code = codeShuttingDown
+		body.RetryAfterSeconds = retryAfterSeconds
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -99,24 +152,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	class, probs, err := s.Predict(r.Context(), window.Matrix(req.Matrix))
 	if err != nil {
-		status := http.StatusInternalServerError
-		body := errorResponse{Error: err.Error()}
-		switch {
-		case errors.Is(err, ErrBadInput):
-			status = http.StatusBadRequest
-			body.Code = codeBadInput
-		case errors.Is(err, ErrOverloaded):
-			status = http.StatusServiceUnavailable
-			body.Code = codeOverloaded
-			body.RetryAfterSeconds = retryAfterSeconds
-			w.Header().Set("Retry-After", "1")
-		case errors.Is(err, ErrShuttingDown):
-			status = http.StatusServiceUnavailable
-			body.Code = codeShuttingDown
-			body.RetryAfterSeconds = retryAfterSeconds
-			w.Header().Set("Retry-After", "1")
-		}
-		writeJSON(w, status, body)
+		writeServeError(w, err)
 		return
 	}
 	fw := s.fw.Load()
@@ -125,16 +161,55 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req ForecastRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	hist := make([]window.Matrix, len(req.History))
+	for i, mat := range req.History {
+		hist[i] = window.Matrix(mat)
+	}
+	pred, err := s.Forecast(r.Context(), hist)
+	if err != nil {
+		writeServeError(w, err)
+		return
+	}
+	fc := s.fc.Load()
+	labels := make([]string, len(pred.Classes))
+	for i, c := range pred.Classes {
+		labels[i] = fc.Bins.Name(c)
+	}
+	writeJSON(w, http.StatusOK, ForecastResponse{
+		Horizons:    pred.Horizons,
+		Classes:     pred.Classes,
+		Labels:      labels,
+		Probs:       pred.Probs,
+		LeadWindows: pred.LeadWindows,
+		Degrading:   pred.Degrading(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fw := s.fw.Load()
 	nTargets, nFeat := fw.Dims()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:     "ok",
 		Targets:    nTargets,
 		Features:   nFeat,
 		Classes:    fw.Classes(),
 		Thresholds: fw.Bins.Thresholds,
-	})
+	}
+	if fc := s.fc.Load(); fc != nil {
+		h.ForecastHistory, _ = fc.Dims()
+		h.ForecastHorizons = fc.Horizons()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"quanterference/internal/core"
+	"quanterference/internal/forecast"
 	"quanterference/internal/monitor/window"
 	"quanterference/internal/obs"
 )
@@ -43,6 +44,10 @@ var (
 	// ErrBadInput reports a window matrix whose shape does not match the
 	// loaded model.
 	ErrBadInput = errors.New("serve: bad input matrix")
+
+	// ErrNoForecaster reports a Forecast call on a server that has no
+	// forecaster loaded (Config.Forecaster nil and no ReloadForecaster yet).
+	ErrNoForecaster = errors.New("serve: no forecaster loaded")
 )
 
 // Config tunes the batching service. The zero value is usable: every field
@@ -61,6 +66,12 @@ type Config struct {
 	// ModelPath is the framework file Reload() re-reads. Optional; reloads
 	// may also name an explicit path.
 	ModelPath string
+	// Forecaster optionally serves /forecast alongside /predict: the
+	// early-warning sequence head answering "slowdown in k windows?" from the
+	// last History window matrices. Nil disables forecasting (requests get
+	// ErrNoForecaster) until ReloadForecaster loads one. Like the framework,
+	// ownership transfers to the server.
+	Forecaster *forecast.Forecaster
 	// Sink receives serving metrics (request/error/reload counters, the
 	// batch-size histogram, per-stage latency histograms). Nil allocates a
 	// private sink so Stats always works.
@@ -95,13 +106,28 @@ type response struct {
 	probs []float64
 }
 
+// frequest is one enqueued forecast: a whole window history rather than one
+// matrix. Same buffered-resp discipline as request.
+type frequest struct {
+	hist []window.Matrix
+	resp chan fresponse
+	enq  time.Time
+}
+
+type fresponse struct {
+	pred *forecast.Prediction
+	err  error
+}
+
 // Server batches concurrent predictions through one framework. Create with
 // New, serve HTTP via Handler, stop with Shutdown.
 type Server struct {
 	cfg Config
 
-	fw    atomic.Pointer[core.Framework]
-	queue chan *request
+	fw     atomic.Pointer[core.Framework]
+	fc     atomic.Pointer[forecast.Forecaster]
+	queue  chan *request
+	fqueue chan *frequest
 
 	gateMu   sync.RWMutex
 	stopping bool
@@ -109,16 +135,19 @@ type Server struct {
 	stopOnce sync.Once
 	stop     chan struct{} // closed by Shutdown once admissions drained
 	done     chan struct{} // closed when the batcher exits
+	fdone    chan struct{} // closed when the forecast batcher exits
 
-	mRequests *obs.Counter
-	mErrors   *obs.Counter
-	mReloads  *obs.Counter
-	mBatches  *obs.Counter
-	gInflight *obs.Gauge
-	hBatch    *obs.Histogram
-	hQueueNS  *obs.Histogram
-	hModelNS  *obs.Histogram
-	hTotalNS  *obs.Histogram
+	mRequests  *obs.Counter
+	mForecasts *obs.Counter
+	mErrors    *obs.Counter
+	mReloads   *obs.Counter
+	mBatches   *obs.Counter
+	gInflight  *obs.Gauge
+	hBatch     *obs.Histogram
+	hFBatch    *obs.Histogram
+	hQueueNS   *obs.Histogram
+	hModelNS   *obs.Histogram
+	hTotalNS   *obs.Histogram
 
 	batchMats []window.Matrix // batcher-only scratch
 }
@@ -131,30 +160,42 @@ func New(fw *core.Framework, cfg Config) *Server {
 	}
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *request, cfg.MaxInflight),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:    cfg,
+		queue:  make(chan *request, cfg.MaxInflight),
+		fqueue: make(chan *frequest, cfg.MaxInflight),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		fdone:  make(chan struct{}),
 
-		mRequests: cfg.Sink.Counter("serve", "", "requests"),
-		mErrors:   cfg.Sink.Counter("serve", "", "errors"),
-		mReloads:  cfg.Sink.Counter("serve", "", "reloads"),
-		mBatches:  cfg.Sink.Counter("serve", "", "batches"),
-		gInflight: cfg.Sink.Gauge("serve", "", "queue_depth"),
-		hBatch:    cfg.Sink.Histogram("serve", "", "batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
-		hQueueNS:  cfg.Sink.Histogram("serve", "", "queue_wait_ns", obs.TimeBuckets()),
-		hModelNS:  cfg.Sink.Histogram("serve", "", "model_ns", obs.TimeBuckets()),
-		hTotalNS:  cfg.Sink.Histogram("serve", "", "total_ns", obs.TimeBuckets()),
+		mRequests:  cfg.Sink.Counter("serve", "", "requests"),
+		mForecasts: cfg.Sink.Counter("serve", "", "forecasts"),
+		mErrors:    cfg.Sink.Counter("serve", "", "errors"),
+		mReloads:   cfg.Sink.Counter("serve", "", "reloads"),
+		mBatches:   cfg.Sink.Counter("serve", "", "batches"),
+		gInflight:  cfg.Sink.Gauge("serve", "", "queue_depth"),
+		hBatch:     cfg.Sink.Histogram("serve", "", "batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
+		hFBatch:    cfg.Sink.Histogram("serve", "", "forecast_batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
+		hQueueNS:   cfg.Sink.Histogram("serve", "", "queue_wait_ns", obs.TimeBuckets()),
+		hModelNS:   cfg.Sink.Histogram("serve", "", "model_ns", obs.TimeBuckets()),
+		hTotalNS:   cfg.Sink.Histogram("serve", "", "total_ns", obs.TimeBuckets()),
 
 		batchMats: make([]window.Matrix, 0, cfg.MaxBatch),
 	}
 	s.fw.Store(fw)
+	if cfg.Forecaster != nil {
+		s.fc.Store(cfg.Forecaster)
+	}
 	go s.batcher()
+	go s.fbatcher()
 	return s
 }
 
 // Framework returns the currently served framework (hot-reload aware).
 func (s *Server) Framework() *core.Framework { return s.fw.Load() }
+
+// Forecaster returns the currently served forecaster, nil when forecasting
+// is not enabled.
+func (s *Server) Forecaster() *forecast.Forecaster { return s.fc.Load() }
 
 // Stats snapshots the serving metrics.
 func (s *Server) Stats() *obs.Snapshot { return s.cfg.Sink.Snapshot() }
@@ -202,6 +243,55 @@ func (s *Server) Predict(ctx context.Context, mat window.Matrix) (class int, pro
 	}
 }
 
+// Forecast predicts slowdown ahead of time from the last History raw window
+// matrices (oldest first), funneled through the forecast batcher the same way
+// Predict funnels through the prediction batcher. The returned Prediction is
+// the caller's to keep. Safe for any number of concurrent callers; returns
+// ErrNoForecaster when the server has no forecaster loaded.
+func (s *Server) Forecast(ctx context.Context, history []window.Matrix) (*forecast.Prediction, error) {
+	start := time.Now()
+	s.mForecasts.Inc()
+	fc := s.fc.Load()
+	if fc == nil {
+		s.mErrors.Inc()
+		return nil, ErrNoForecaster
+	}
+	if err := validateHistory(fc, history); err != nil {
+		s.mErrors.Inc()
+		return nil, err
+	}
+
+	s.gateMu.RLock()
+	if s.stopping {
+		s.gateMu.RUnlock()
+		s.mErrors.Inc()
+		return nil, ErrShuttingDown
+	}
+	s.inflight.Add(1)
+	s.gateMu.RUnlock()
+	defer s.inflight.Done()
+
+	req := &frequest{hist: history, resp: make(chan fresponse, 1), enq: start}
+	select {
+	case s.fqueue <- req:
+	default:
+		s.mErrors.Inc()
+		return nil, fmt.Errorf("%w: forecast queue full (%d)", ErrOverloaded, s.cfg.MaxInflight)
+	}
+	select {
+	case r := <-req.resp:
+		if r.err != nil {
+			s.mErrors.Inc()
+			return nil, r.err
+		}
+		s.hTotalNS.Observe(float64(time.Since(start)))
+		return r.pred, nil
+	case <-ctx.Done():
+		s.mErrors.Inc()
+		return nil, ctx.Err()
+	}
+}
+
 // Reload atomically swaps in the framework at path (Config.ModelPath when
 // empty) without disturbing in-flight requests: batches already cut keep the
 // framework pointer they loaded. Invalid files leave the old framework
@@ -246,6 +336,30 @@ func (s *Server) ReloadFramework(fw *core.Framework) error {
 	return nil
 }
 
+// ReloadForecaster atomically swaps in a forecaster — what the
+// continuous-learning loop calls to promote a retrained sequence head, and
+// how a server started without one turns forecasting on. In-flight forecast
+// batches keep the pointer they loaded, so the swap never disturbs them.
+// Ownership of f transfers to the server. When a forecaster is already
+// serving, the replacement must read the same history length and raw feature
+// width; the first load is unconstrained.
+func (s *Server) ReloadForecaster(f *forecast.Forecaster) error {
+	if f == nil {
+		return errors.New("serve: reload of nil forecaster")
+	}
+	if cur := s.fc.Load(); cur != nil {
+		oldH, oldF := cur.Dims()
+		newH, newF := f.Dims()
+		if oldH != newH || oldF != newF {
+			return fmt.Errorf("serve: forecaster shape %d windows x %d features does not match served %d x %d",
+				newH, newF, oldH, oldF)
+		}
+	}
+	s.fc.Store(f)
+	s.mReloads.Inc()
+	return nil
+}
+
 // Shutdown gracefully stops the server: new requests are refused with
 // ErrShuttingDown, every admitted request is answered, then the batcher
 // exits. Returns ctx.Err() if the context expires first (the batcher is
@@ -266,12 +380,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 	s.stopOnce.Do(func() { close(s.stop) })
-	select {
-	case <-s.done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	for _, ch := range []<-chan struct{}{s.done, s.fdone} {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+	return nil
 }
 
 // validate checks mat against the loaded model's expected shape.
@@ -287,6 +403,28 @@ func validate(fw *core.Framework, mat window.Matrix) error {
 		if len(row) != nFeat {
 			return fmt.Errorf("%w: row %d has %d features, model expects %d",
 				ErrBadInput, t, len(row), nFeat)
+		}
+	}
+	return nil
+}
+
+// validateHistory checks a forecast history against the loaded forecaster's
+// expected shape: History windows, each a non-empty matrix of nFeat-wide
+// rows (any row count — pooling collapses targets).
+func validateHistory(fc *forecast.Forecaster, history []window.Matrix) error {
+	hLen, nFeat := fc.Dims()
+	if len(history) != hLen {
+		return fmt.Errorf("%w: %d windows, forecaster expects %d", ErrBadInput, len(history), hLen)
+	}
+	for i, mat := range history {
+		if len(mat) == 0 {
+			return fmt.Errorf("%w: window %d is empty", ErrBadInput, i)
+		}
+		for t, row := range mat {
+			if len(row) != nFeat {
+				return fmt.Errorf("%w: window %d row %d has %d features, forecaster expects %d",
+					ErrBadInput, i, t, len(row), nFeat)
+			}
 		}
 	}
 	return nil
