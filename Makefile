@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ tier1: build test
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs, online's
 # loop promoting through the live server under concurrent predictions).
-verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke
+verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online
+	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online ./internal/mitigate
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
@@ -99,6 +99,22 @@ forecast-smoke:
 	@grep -q '^digest,paper,' out/forecast-smoke/leadtime.csv || \
 		{ echo "forecast-smoke: leadtime.csv missing weights digest"; exit 1; }
 	@echo "forecast-smoke: OK"
+
+# mitigate-smoke runs the policy × fault × workload actuation study end to
+# end at tiny scale and compares the emitted CSV byte-for-byte against the
+# committed golden (internal/experiments/testdata/mitigation_golden.csv) —
+# the determinism pin for the whole predict → forecast → policy → actuate
+# loop. The flags here MUST match tinyMitigationConfig in
+# internal/experiments/mitigation_test.go; refresh the golden with
+# UPDATE_GOLDEN=1 go test ./internal/experiments -run TestMitigationDeterministic.
+mitigate-smoke:
+	@mkdir -p out/mitigate-smoke
+	$(GO) run ./cmd/figures -only mitigation -scale 0.08 -epochs 6 -seed 3 \
+		-reps 1 -out out/mitigate-smoke
+	@cmp out/mitigate-smoke/mitigation.csv \
+		internal/experiments/testdata/mitigation_golden.csv || \
+		{ echo "mitigate-smoke: CSV diverged from golden"; exit 1; }
+	@echo "mitigate-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -18,6 +18,7 @@ import (
 	"quanterference/internal/forecast"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
+	"quanterference/internal/mitigate"
 	"quanterference/internal/ml"
 	"quanterference/internal/netsim"
 	"quanterference/internal/online"
@@ -592,6 +593,45 @@ func BenchmarkCaseStudyMitigation(b *testing.B) {
 		if len(r.Modes) != 4 {
 			b.Fatal("bad modes")
 		}
+	}
+}
+
+// BenchmarkPolicyDecide measures one mitigation-policy decision per window —
+// the per-window cost a live controller pays on the actuation hot path. The
+// observation stream alternates clean/hot windows with a forecast attached,
+// exercising the hysteresis state machine in both directions.
+func BenchmarkPolicyDecide(b *testing.B) {
+	obs := make([]mitigate.Observation, 8)
+	for i := range obs {
+		obs[i] = mitigate.Observation{Window: i, Class: (i + 1) % 2}
+		if i%3 == 0 {
+			obs[i].Forecast = &forecast.Prediction{
+				Horizons: []int{1, 2}, Classes: []int{1, 0},
+				Probs: [][]float64{{0.1, 0.9}, {0.6, 0.4}}, LeadWindows: 1,
+			}
+		}
+	}
+	mk := map[string]func() (mitigate.Policy, error){
+		"reactive":  func() (mitigate.Policy, error) { return mitigate.NewReactiveThrottle() },
+		"proactive": func() (mitigate.Policy, error) { return mitigate.NewProactiveThrottle() },
+		"defer":     func() (mitigate.Policy, error) { return mitigate.NewDeferBurst() },
+	}
+	for _, name := range []string{"reactive", "proactive", "defer"} {
+		p, err := mk[name]()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			engaged := 0
+			for i := 0; i < b.N; i++ {
+				if p.Decide(obs[i%len(obs)]).Engaged() {
+					engaged++
+				}
+			}
+			if engaged == 0 {
+				b.Fatal("policy never engaged")
+			}
+		})
 	}
 }
 

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer|leadtime]
-//	        [-scale 1.0] [-epochs 60] [-seed 42] [-out out/]
+//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer|leadtime|mitigation]
+//	        [-scale 1.0] [-epochs 60] [-seed 42] [-reps 0] [-out out/]
 //	        [-profiles paper,nvme,fastnic] [-pprof localhost:6060]
 //
 // -pprof serves net/http/pprof profiles and a /metrics runtime-metrics dump
@@ -29,10 +29,11 @@ import (
 )
 
 var (
-	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer, leadtime)")
+	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer, leadtime, mitigation)")
 	scale    = flag.Float64("scale", 1.0, "workload volume scale factor")
 	epochs   = flag.Int("epochs", 60, "training epochs for model experiments")
 	seed     = flag.Int64("seed", 42, "root random seed")
+	reps     = flag.Int("reps", 0, "dataset collection repetitions (0 = experiment default)")
 	outDir   = flag.String("out", "out", "output directory for .txt/.csv files")
 	profiles = flag.String("profiles", "paper,nvme,fastnic", "comma-separated hardware profiles for the transfer study")
 	pprofA   = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
@@ -174,6 +175,20 @@ func main() {
 				Seed:     *seed,
 			})
 			emit("leadtime", r.Render(), r.CSV())
+		})
+	}
+	if want("mitigation") {
+		step("Mitigation: policy × fault × workload actuation study", func() {
+			r := experiments.MitigationStudy(experiments.MitigationConfig{
+				Scale:  s,
+				Reps:   *reps,
+				Epochs: *epochs,
+				Seed:   *seed,
+			})
+			emit("mitigation", r.Render(), r.CSV())
+			if !r.ProactiveMatchesReactive() {
+				fmt.Println("  WARNING: proactive policy never matched reactive slowdown-avoided")
+			}
 		})
 	}
 	if want("extensions") {

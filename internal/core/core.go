@@ -254,6 +254,28 @@ func faultEndpoints(cl *Cluster) fault.Endpoints {
 	return eps
 }
 
+// InjectFaults schedules deterministic fault episodes on an already-built
+// cluster — the manual-assembly counterpart of Scenario.Faults for callers
+// that wire clusters by hand (experiments, mitigation studies). Specs are
+// validated first; an invalid spec returns an error wrapping
+// ErrInvalidScenario with nothing scheduled. The injector instruments itself
+// on cl.Sink when the cluster was Instrument-ed, so fault/injected counters
+// land beside the rest of the run's metrics. Call before cl.Eng runs past
+// the first spec's start time.
+func (cl *Cluster) InjectFaults(specs []fault.Spec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	inj := fault.NewInjector(cl.Eng, faultEndpoints(cl))
+	if cl.Sink != nil {
+		inj.Instrument(cl.Sink)
+	}
+	if err := inj.Inject(specs); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+	}
+	return nil
+}
+
 // RunResult is everything one scenario run produced.
 type RunResult struct {
 	// Records is the target workload's client-side trace.

@@ -103,7 +103,8 @@ func (c *Config) Validate() error {
 
 // Head is one horizon's model: a kernel network over the pooled
 // [History x pooled-features] matrix, with the per-feature scaler fitted on
-// that horizon's training split.
+// that horizon's training split. All three fields must be populated — the
+// zero value has no model to run.
 type Head struct {
 	Horizon int
 	Model   ml.Model
@@ -115,6 +116,12 @@ type Head struct {
 // core.Framework, Predict reuses per-forecaster scratch and must not be
 // called from multiple goroutines at once; internal/serve funnels it through
 // a single batcher goroutine.
+//
+// The zero value is not usable — a Forecaster needs at least one fully
+// populated Head. Build one with core.TrainForecasterCtx, restore one with
+// Load, or (in tests) assemble the fields by hand. Predict is pure
+// arithmetic over the head weights: the same Forecaster given the same
+// history always returns an identical Prediction.
 type Forecaster struct {
 	History   int
 	Threshold int
@@ -142,7 +149,8 @@ type Prediction struct {
 }
 
 // Degrading reports whether any horizon predicts a class at or past the
-// threshold.
+// threshold. The zero-value Prediction (LeadWindows 0) reports false — "no
+// degradation in sight" is the zero state.
 func (p *Prediction) Degrading() bool { return p.LeadWindows > 0 }
 
 // Horizons returns the ascending horizon set, one per head.
@@ -294,7 +302,9 @@ func (t *Tracker) Offer(mat window.Matrix) {
 // Ready reports whether a full history has been observed.
 func (t *Tracker) Ready() bool { return len(t.hist) == t.f.History }
 
-// Predict forecasts from the tracked history; call only once Ready.
+// Predict forecasts from the tracked history; call only once Ready (before
+// that the partial history fails the forecaster's shape check with
+// ErrBadHistory).
 func (t *Tracker) Predict() (*Prediction, error) { return t.f.Predict(t.hist) }
 
 // Reset drops the tracked history (e.g. when the stream restarts).

@@ -2,10 +2,13 @@ package mitigate
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"quanterference/internal/core"
 	"quanterference/internal/dataset"
+	"quanterference/internal/forecast"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/monitor/window"
@@ -223,4 +226,168 @@ func TestControllerStopRemovesLimits(t *testing.T) {
 	if ctrl.Summary() == "" {
 		t.Fatal("empty summary")
 	}
+}
+
+// fcMaxModel is a deterministic forecast head for tests: over pooled rows
+// (mean at 2j, max at 2j+1) it predicts class 1 when the max of feature 0
+// (cli_reads on the busiest target) exceeds 2 in the newest pooled window.
+type fcMaxModel struct{}
+
+func (fcMaxModel) Probs(vectors [][]float64) []float64 {
+	if vectors[len(vectors)-1][1] > 2 {
+		return []float64{0.1, 0.9}
+	}
+	return []float64{0.9, 0.1}
+}
+func (m fcMaxModel) Predict(vectors [][]float64) int {
+	p := m.Probs(vectors)
+	if p[1] > p[0] {
+		return 1
+	}
+	return 0
+}
+func (fcMaxModel) LossAndGrad([][]float64, int, float64) float64 { return 0 }
+func (fcMaxModel) Params() []nn.Param                            { return nil }
+
+// stubForecaster wires fcMaxModel as a single 2-window-ahead head with an
+// identity scaler over the pooled width.
+func stubForecaster(history int) *forecast.Forecaster {
+	n := 2 * window.NumFeatures
+	scaler := &dataset.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+	for i := range scaler.Std {
+		scaler.Std[i] = 1
+	}
+	return &forecast.Forecaster{
+		History:   history,
+		Threshold: 1,
+		Bins:      label.BinaryBins(),
+		Heads:     []*forecast.Head{{Horizon: 2, Model: fcMaxModel{}, Scaler: scaler}},
+	}
+}
+
+// TestControllerProactiveEngagesAheadOfClassifier drives windows that the
+// current-window classifier calls clean (4 reads, under its >5 threshold)
+// but the forecast head alarms on (max pooled reads > 2): the proactive
+// controller must engage on the forecast alone, before any hot window
+// exists, and log the forecast as the reason.
+func TestControllerProactiveEngagesAheadOfClassifier(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	victim := cl.FS.Client("c1")
+	policy, err := NewProactiveThrottle(WithLead(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(cl, stubFramework(), []Victim{{Client: victim}}, sim.Second,
+		policy, WithForecaster(stubForecaster(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		for s := 0; s < 4; s++ {
+			ctrl.Record(readRecord(w, s))
+		}
+	}
+	cl.Eng.RunUntil(sim.Seconds(2.5))
+	if !ctrl.Engaged() || !victim.RateLimited() {
+		t.Fatalf("proactive controller not engaged on forecast alarm: %+v", ctrl.Actions())
+	}
+	var engaged *Action
+	for i := range ctrl.Actions() {
+		a := &ctrl.Actions()[i]
+		if a.Switched && a.Engaged {
+			engaged = a
+			break
+		}
+	}
+	if engaged == nil {
+		t.Fatal("no engagement action logged")
+	}
+	if engaged.Class != 0 {
+		t.Fatalf("engagement window classed %d — classifier fired first, forecast not the trigger", engaged.Class)
+	}
+	if engaged.Lead != 2 || !strings.Contains(engaged.Reason, "forecast") {
+		t.Fatalf("engagement action %+v: want lead 2 and a forecast reason", engaged)
+	}
+
+	// A reactive controller over the identical stream must stay disengaged —
+	// the proactive win is real lead time, not a lower threshold.
+	clR := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	ctrlR := mustNew(t, clR, stubFramework(), []*lustre.Client{clR.FS.Client("c1")}, sim.Second, Config{})
+	for w := 0; w < 2; w++ {
+		for s := 0; s < 4; s++ {
+			ctrlR.Record(readRecord(w, s))
+		}
+	}
+	clR.Eng.RunUntil(sim.Seconds(2.5))
+	if ctrlR.Engaged() {
+		t.Fatal("reactive controller engaged on clean-classed windows")
+	}
+	ctrl.Stop()
+	ctrlR.Stop()
+}
+
+// loopGen writes one file per iteration — a minimal interfering workload for
+// defer tests.
+type loopGen struct{}
+
+func (loopGen) Name() string { return "bg-writes" }
+func (loopGen) Ops(rank int) []workload.Op {
+	path := fmt.Sprintf("/bg/rank%d", rank)
+	return []workload.Op{
+		{Kind: workload.Create, Path: path, StripeCount: 1},
+		{Kind: workload.Write, Path: path, Size: 1 << 20},
+		{Kind: workload.Close, Path: path},
+	}
+}
+func (loopGen) Prepare(*lustre.FS) {}
+
+// TestControllerDefersRunner exercises the defer actuation path end to end:
+// hot windows pause the interfering runner at its next op boundary, clean
+// windows resume it, and Stop always leaves it running free.
+func TestControllerDefersRunner(t *testing.T) {
+	cl := core.NewCluster(lustre.PaperTopology(), lustre.Config{})
+	bg := &workload.Runner{
+		FS: cl.FS, Name: "bg", Nodes: []string{"c2"}, Ranks: 1,
+		Gen: loopGen{}, Loop: true,
+	}
+	policy, err := NewDeferBurst(WithReleaseAfter(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(cl, stubFramework(), []Victim{{Runner: bg}}, sim.Second, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 0-1 hot, 2+ clean.
+	for w := 0; w < 2; w++ {
+		for s := 0; s < 10; s++ {
+			ctrl.Record(readRecord(w, s))
+		}
+	}
+	bg.Start()
+	cl.Eng.RunUntil(sim.Seconds(2.5))
+	if !ctrl.Engaged() || !bg.Paused() {
+		t.Fatalf("engaged=%v paused=%v after hot windows, want both", ctrl.Engaged(), bg.Paused())
+	}
+	cl.Eng.RunUntil(sim.Seconds(4.5))
+	if ctrl.Engaged() || bg.Paused() {
+		t.Fatalf("engaged=%v paused=%v after two clean windows, want neither", ctrl.Engaged(), bg.Paused())
+	}
+	if !bg.Running() {
+		t.Fatal("background runner died across defer/resume")
+	}
+	// Re-engage, then Stop mid-defer: the runner must come back.
+	for s := 0; s < 10; s++ {
+		ctrl.Record(readRecord(5, s))
+	}
+	cl.Eng.RunUntil(sim.Seconds(6.5))
+	if !bg.Paused() {
+		t.Fatal("controller did not re-defer on a fresh hot window")
+	}
+	ctrl.Stop()
+	if bg.Paused() {
+		t.Fatal("Stop left the runner paused")
+	}
+	bg.Stop()
+	cl.Eng.RunUntil(sim.Seconds(8))
 }

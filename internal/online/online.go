@@ -27,6 +27,7 @@ import (
 
 	"quanterference/internal/core"
 	"quanterference/internal/forecast"
+	"quanterference/internal/mitigate"
 	"quanterference/internal/ml"
 	"quanterference/internal/monitor/window"
 	"quanterference/internal/obs"
@@ -70,6 +71,15 @@ type Config struct {
 	// in k windows". The Loop owns it (single-goroutine scratch) — clone
 	// before sharing one with a serving layer.
 	Forecaster *forecast.Forecaster
+	// Policy, when set, closes the actuation loop from inside the learning
+	// loop: each Step classifies the latest offered window with the
+	// incumbent, hands the class plus the current forecast to the policy,
+	// and reports its Verdict on the Decision (it does not actuate — wire
+	// the verdict into a mitigate.Controller or scheduler to act on it).
+	// The Loop owns the policy's hysteresis state; policies are
+	// deterministic state machines, so same-seed replays produce the same
+	// verdict timeline. Combine with Forecaster for proactive policies.
+	Policy mitigate.Policy
 	// Drift tunes the detector, Gate the promotion gate, Train the retrain
 	// (epochs, LR, Workers — warm starts reuse the incumbent architecture).
 	Drift DriftConfig
@@ -141,6 +151,11 @@ type Decision struct {
 	// Rollback marks a promotion the promoter refused (the candidate cleared
 	// the gate but the reload failed); the incumbent was kept.
 	Rollback bool
+	// Mitigation is the configured policy's verdict on the latest window
+	// (nil when no Config.Policy is set, or before the first OfferWindow):
+	// what the actuation layer should be doing right now, with the policy's
+	// deterministic reason string.
+	Mitigation *mitigate.Verdict
 }
 
 // String renders the decision for logs.
@@ -163,6 +178,14 @@ func (d Decision) String() string {
 	if d.Forecast != nil && d.Forecast.Degrading() {
 		s += fmt.Sprintf(" [degradation predicted in %d window(s)]", d.Forecast.LeadWindows)
 	}
+	if d.Mitigation != nil && d.Mitigation.Engaged() {
+		switch {
+		case d.Mitigation.Defer:
+			s += fmt.Sprintf(" [mitigate: defer (%s)]", d.Mitigation.Reason)
+		default:
+			s += fmt.Sprintf(" [mitigate: throttle (%s)]", d.Mitigation.Reason)
+		}
+	}
 	return s
 }
 
@@ -183,6 +206,11 @@ type Loop struct {
 	tracker   *forecast.Tracker // nil unless Config.Forecaster is set
 	retrains  int
 
+	// lastWindow is the most recent OfferWindow matrix, kept so a configured
+	// policy can be fed the incumbent's class for it at the next Step.
+	lastWindow window.Matrix
+	seenWin    int
+
 	mWindows    *obs.Counter
 	mLabeled    *obs.Counter
 	mDriftTrips *obs.Counter
@@ -191,8 +219,10 @@ type Loop struct {
 	mRejections *obs.Counter
 	mRollbacks  *obs.Counter
 	mForecasts  *obs.Counter
+	mMitEngage  *obs.Counter
 	gBuffer     *obs.Gauge
 	gLead       *obs.Gauge
+	gMitEngaged *obs.Gauge
 	hDriftFrac  *obs.Histogram
 	hRollAcc    *obs.Histogram
 	hGateAcc    *obs.Histogram
@@ -224,8 +254,10 @@ func NewLoop(p Promoter, cfg Config) (*Loop, error) {
 		mRejections: cfg.Sink.Counter("online", "", "rejections"),
 		mRollbacks:  cfg.Sink.Counter("online", "", "rollbacks"),
 		mForecasts:  cfg.Sink.Counter("online", "", "forecasts"),
+		mMitEngage:  cfg.Sink.Counter("online", "", "mitigation_engagements"),
 		gBuffer:     cfg.Sink.Gauge("online", "", "buffer_fill"),
 		gLead:       cfg.Sink.Gauge("online", "", "forecast_lead_windows"),
+		gMitEngaged: cfg.Sink.Gauge("online", "", "mitigation_engaged"),
 		hDriftFrac:  cfg.Sink.Histogram("online", "", "feature_drift_frac", obs.UnitBuckets()),
 		hRollAcc:    cfg.Sink.Histogram("online", "", "rolling_accuracy", obs.UnitBuckets()),
 		hGateAcc:    cfg.Sink.Histogram("online", "", "gate_candidate_accuracy", obs.UnitBuckets()),
@@ -259,6 +291,10 @@ func (l *Loop) OfferWindow(mat window.Matrix) {
 	if l.tracker != nil {
 		l.tracker.Offer(mat)
 	}
+	if l.cfg.Policy != nil {
+		l.lastWindow = mat
+	}
+	l.seenWin++
 	l.mWindows.Inc()
 }
 
@@ -296,6 +332,19 @@ func (l *Loop) Step(ctx context.Context) (Decision, error) {
 		d.Forecast = p
 		l.mForecasts.Inc()
 		l.gLead.Set(float64(p.LeadWindows))
+	}
+	if l.cfg.Policy != nil && l.lastWindow != nil {
+		class, _ := l.incumbent.Predict(l.lastWindow)
+		v := l.cfg.Policy.Decide(mitigate.Observation{
+			Window: l.seenWin - 1, Class: class, Forecast: d.Forecast,
+		})
+		d.Mitigation = &v
+		if v.Engaged() {
+			l.gMitEngaged.Set(1)
+			l.mMitEngage.Inc()
+		} else {
+			l.gMitEngaged.Set(0)
+		}
 	}
 	if !score.Drifted || l.buf.Len() < l.cfg.MinExamples {
 		return d, nil

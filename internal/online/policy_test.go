@@ -1,0 +1,147 @@
+package online
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"quanterference/internal/mitigate"
+	"quanterference/internal/sim"
+)
+
+// TestLoopPolicyVerdicts pins the loop→policy handoff: with a Config.Policy
+// set, every Step after the first OfferWindow carries a Mitigation verdict,
+// the engage-class-0 policy engages immediately, the decision string cites
+// the mitigation, and the online stats export the engagement counter and
+// gauge. Without a policy the field stays nil.
+func TestLoopPolicyVerdicts(t *testing.T) {
+	fw := trainedFramework(t, 1)
+	cfg := quickConfig(7)
+	pol, err := mitigate.NewReactiveThrottle(mitigate.WithEngageClass(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = pol
+	l, err := NewLoop(&fakePromoter{fw: fw}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Before any window is offered there is nothing to judge.
+	d, err := l.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mitigation != nil {
+		t.Fatalf("verdict before first window: %+v", d.Mitigation)
+	}
+
+	rng := sim.NewRNG(3)
+	for i := 0; i < 4; i++ {
+		l.OfferWindow(driftedMatrix(rng))
+		d, err = l.Step(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Mitigation == nil {
+			t.Fatalf("step %d: no verdict with a policy configured", i)
+		}
+		if !d.Mitigation.Engaged() || !d.Mitigation.Throttle {
+			t.Fatalf("step %d: engage-class-0 policy not engaged: %+v", i, d.Mitigation)
+		}
+	}
+	if s := d.String(); !strings.Contains(s, "[mitigate: throttle") {
+		t.Fatalf("decision string misses the verdict: %q", s)
+	}
+
+	snap := l.Stats()
+	if got, _ := snap.Counter("online", "", "mitigation_engagements"); got != 4 {
+		t.Fatalf("mitigation_engagements = %d, want 4", got)
+	}
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Key.Component == "online" && g.Key.Name == "mitigation_engaged" {
+			found = true
+			if g.Value != 1 {
+				t.Fatalf("mitigation_engaged gauge = %v, want 1", g.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("mitigation_engaged gauge not exported")
+	}
+
+	// No policy → the field stays nil on the same stream.
+	l2, err := NewLoop(&fakePromoter{fw: trainedFramework(t, 1)}, quickConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.OfferWindow(driftedMatrix(sim.NewRNG(3)))
+	if d, err := l2.Step(ctx); err != nil || d.Mitigation != nil {
+		t.Fatalf("policy-less loop produced a verdict: %+v err %v", d.Mitigation, err)
+	}
+}
+
+// TestLoopPolicyUsesForecast pins the proactive path through the loop: a
+// threshold-0 forecaster marks every warm window as degrading at horizon 1,
+// so a proactive policy engages with a forecast reason even though the
+// engage-class threshold alone would not trip on every window. The verdict
+// timeline must be identical across same-seed loops — the loop-level
+// statement of the policy determinism contract.
+func TestLoopPolicyUsesForecast(t *testing.T) {
+	run := func() []mitigate.Verdict {
+		fw := trainedFramework(t, 1)
+		cfg := quickConfig(7)
+		cfg.Forecaster = loopForecaster(3, 0, []int{1, 2})
+		pol, err := mitigate.NewProactiveThrottle(
+			mitigate.WithLead(2), mitigate.WithEngageClass(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Policy = pol
+		l, err := NewLoop(&fakePromoter{fw: fw}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		rng := sim.NewRNG(11)
+		var verdicts []mitigate.Verdict
+		for i := 0; i < 6; i++ {
+			l.OfferWindow(driftedMatrix(rng))
+			d, err := l.Step(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Mitigation == nil {
+				t.Fatalf("step %d: no verdict", i)
+			}
+			verdicts = append(verdicts, *d.Mitigation)
+		}
+		return verdicts
+	}
+
+	v1 := run()
+	// EngageClass 3 is unreachable on a binary classifier, so any engagement
+	// must come from the forecast; the forecaster warms after History=3
+	// windows, and threshold 0 makes every warm prediction "degrading".
+	engaged := 0
+	for i, v := range v1 {
+		if v.Engaged() {
+			engaged++
+			if !strings.Contains(v.Reason, "forecast") && !strings.Contains(v.Reason, "cooldown") {
+				t.Fatalf("step %d: engagement not forecast-driven: %+v", i, v)
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("proactive policy never engaged on a degrading forecast stream")
+	}
+
+	v2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("same-seed verdict timelines diverged at step %d: %+v vs %+v", i, v1[i], v2[i])
+		}
+	}
+}

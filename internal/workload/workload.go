@@ -122,10 +122,46 @@ type Runner struct {
 	active   int
 	started  bool
 	prepared bool
+
+	paused    bool
+	held      []func()
+	heldBytes int64
 }
 
 // Stop makes every rank halt after its in-flight operation.
 func (r *Runner) Stop() { r.stopped = true }
+
+// Pause holds every rank at its next operation boundary: in-flight
+// operations complete, but no rank issues another op until Resume. Held
+// continuations queue FIFO (deterministic release order), and the byte sizes
+// of the I/O ops held at the gate accumulate into HeldBytes — the "bytes
+// deferred" a defer/reschedule mitigation policy reports. Pausing an already
+// paused runner is a no-op.
+func (r *Runner) Pause() { r.paused = true }
+
+// Resume lifts a Pause: held ranks re-enter their streams in the order they
+// arrived at the gate, and HeldBytes resets to zero. Ranks stopped while
+// held exit instead of executing. Resuming a runner that is not paused is a
+// no-op.
+func (r *Runner) Resume() {
+	if !r.paused {
+		return
+	}
+	r.paused = false
+	r.heldBytes = 0
+	held := r.held
+	r.held = nil
+	for _, cont := range held {
+		cont()
+	}
+}
+
+// Paused reports whether the pause gate is closed.
+func (r *Runner) Paused() bool { return r.paused }
+
+// HeldBytes is the total I/O volume (op sizes) of operations currently held
+// at the pause gate. It resets on Resume.
+func (r *Runner) HeldBytes() int64 { return r.heldBytes }
 
 // Running reports whether any rank is still executing.
 func (r *Runner) Running() bool { return r.active > 0 }
@@ -175,6 +211,15 @@ func (r *Runner) runRank(rank int, node string) {
 	exec = func(i int) {
 		if r.stopped {
 			finishRank()
+			return
+		}
+		if r.paused {
+			// Hold the rank at the gate; Resume re-enters exec(i), which
+			// rechecks stopped so a Stop while held still wins.
+			if i < len(ops) && ops[i].Kind.IsIO() {
+				r.heldBytes += ops[i].Size
+			}
+			r.held = append(r.held, func() { exec(i) })
 			return
 		}
 		if i >= len(ops) {

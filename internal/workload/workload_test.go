@@ -243,3 +243,87 @@ func TestSequenceRunsEndToEnd(t *testing.T) {
 		t.Fatalf("phase attribution: %v", phases)
 	}
 }
+
+func TestRunnerPauseResume(t *testing.T) {
+	eng, fs := newFS()
+	var recs []Record
+	r := &Runner{
+		FS: fs, Name: "pause", Nodes: []string{"c0"}, Ranks: 2,
+		Gen:      scriptGen{name: "pause", ops: basicScript},
+		OnRecord: func(rec Record) { recs = append(recs, rec) },
+	}
+	r.Pause() // gate closed before Start: ranks hold at their first op
+	r.Start()
+	eng.Run()
+	if len(recs) != 0 {
+		t.Fatalf("paused runner emitted %d records", len(recs))
+	}
+	if !r.Paused() || !r.Running() {
+		t.Fatalf("paused=%v running=%v, want both true", r.Paused(), r.Running())
+	}
+	// Both ranks hold their first op (Create, not I/O-sized): 0 held bytes.
+	if r.HeldBytes() != 0 {
+		t.Fatalf("HeldBytes=%d before any data op", r.HeldBytes())
+	}
+	r.Resume()
+	eng.Run()
+	if len(recs) != 10 {
+		t.Fatalf("records=%d after resume, want 10", len(recs))
+	}
+	if r.Running() {
+		t.Fatal("runner still active after completing")
+	}
+	if r.HeldBytes() != 0 {
+		t.Fatalf("HeldBytes=%d after resume, want 0", r.HeldBytes())
+	}
+}
+
+func TestRunnerPauseAccountsHeldBytes(t *testing.T) {
+	eng, fs := newFS()
+	r := &Runner{
+		FS: fs, Name: "held", Nodes: []string{"c0"}, Ranks: 1,
+		Gen: scriptGen{name: "held", ops: basicScript},
+	}
+	// Pause right after the create completes: the rank arrives at the
+	// 1 MiB write and holds it at the gate.
+	r.Start()
+	eng.Schedule(sim.Microsecond, r.Pause)
+	eng.Run()
+	if !r.Paused() {
+		t.Fatal("runner not paused")
+	}
+	if r.HeldBytes() != 1<<20 {
+		t.Fatalf("HeldBytes=%d, want %d (the held write)", r.HeldBytes(), 1<<20)
+	}
+	r.Resume()
+	eng.Run()
+	if r.Running() {
+		t.Fatal("runner did not finish after resume")
+	}
+}
+
+func TestRunnerStopWhileHeld(t *testing.T) {
+	eng, fs := newFS()
+	var recs []Record
+	r := &Runner{
+		FS: fs, Name: "stop-held", Nodes: []string{"c0"}, Ranks: 1, Loop: true,
+		Gen:      scriptGen{name: "stop-held", ops: basicScript},
+		OnRecord: func(rec Record) { recs = append(recs, rec) },
+	}
+	r.Start()
+	eng.Schedule(sim.Seconds(1), r.Pause)
+	eng.RunUntil(sim.Seconds(2))
+	if !r.Running() {
+		t.Fatal("runner exited while held")
+	}
+	n := len(recs)
+	r.Stop()
+	r.Resume() // held rank re-enters exec, sees stopped, exits
+	eng.RunUntil(sim.Seconds(3))
+	if r.Running() {
+		t.Fatal("runner still active after Stop+Resume")
+	}
+	if len(recs) != n {
+		t.Fatalf("stopped rank executed %d more ops after Resume", len(recs)-n)
+	}
+}
