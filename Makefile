@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ tier1: build test
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs, online's
 # loop promoting through the live server under concurrent predictions).
-verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke
+verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 30m ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online ./internal/mitigate
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online ./internal/mitigate ./internal/fleet
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
@@ -115,6 +115,25 @@ mitigate-smoke:
 		internal/experiments/testdata/mitigation_golden.csv || \
 		{ echo "mitigate-smoke: CSV diverged from golden"; exit 1; }
 	@echo "mitigate-smoke: OK"
+
+# fleet-smoke runs the deterministic 3-replica fleet episode twice and
+# byte-compares the outputs: rendezvous routing with failover across a
+# mid-episode kill (zero dropped requests), a failed rolling promotion that
+# rolls back to the incumbent digest, a restart with reservoir restore, the
+# order-independent merged retrain, and a clean fleet-wide rollout. The
+# printed timeline carries replica names and weight digests only, so any
+# nondeterminism in routing, merging, or training shows up as a byte diff.
+fleet-smoke:
+	@mkdir -p out/fleet-smoke
+	$(GO) run ./cmd/quantfleet -smoke > out/fleet-smoke/run1.txt
+	$(GO) run ./cmd/quantfleet -smoke > out/fleet-smoke/run2.txt
+	@cmp out/fleet-smoke/run1.txt out/fleet-smoke/run2.txt || \
+		{ echo "fleet-smoke: episode diverged between runs"; exit 1; }
+	@grep -q 'dropped 0' out/fleet-smoke/run1.txt || \
+		{ echo "fleet-smoke: requests were dropped"; exit 1; }
+	@grep -q 'order-independent: ok' out/fleet-smoke/run1.txt || \
+		{ echo "fleet-smoke: merge order changed the corpus digest"; exit 1; }
+	@echo "fleet-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -1,0 +1,346 @@
+// Command quantfleet exercises the fleet coordinator (internal/fleet): N
+// serve replicas behind seeded rendezvous routing with failover, federated
+// reservoir merge, and rolling promotion with rollback.
+//
+// Usage:
+//
+//	quantfleet -smoke                      # deterministic 3-replica episode
+//	quantfleet -status name=url [name=url ...]  # aggregate fleet /v1/healthz
+//
+// -smoke runs the full fleet episode in-process — three replicas over
+// httptest listeners, a mid-episode kill with zero dropped requests, a
+// failed promotion that rolls back, a restart with reservoir restore, an
+// order-independent merged retrain, and a clean fleet-wide rollout — and
+// prints the coordinator's decision timeline. The output contains replica
+// names and weight digests only (no ports, no timestamps), so two runs with
+// the same seed are byte-identical; `make fleet-smoke` compares exactly
+// that.
+//
+// -status treats each argument as name=url (bare URLs get r0, r1, ...
+// names), probes every replica's /v1/healthz, and prints the aggregated
+// fleet view.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/fleet"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/online"
+	"quanterference/internal/serve"
+	"quanterference/internal/sim"
+)
+
+var (
+	smoke    = flag.Bool("smoke", false, "run the deterministic in-process 3-replica episode")
+	status   = flag.Bool("status", false, "aggregate /v1/healthz across the given name=url replicas")
+	seed     = flag.Int64("seed", 1, "seed for training, routing, and the episode's request stream")
+	requests = flag.Int("requests", 24, "requests to route during the smoke episode")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *smoke:
+		if err := runSmoke(*seed, *requests); err != nil {
+			fatal(err)
+		}
+	case *status:
+		if err := runStatus(flag.Args()); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "quantfleet: pass -smoke or -status (see -help)")
+		os.Exit(2)
+	}
+}
+
+// replicaCount is fixed at three: the smallest fleet where a mid-rollout
+// failure leaves both promoted and untouched replicas to verify against.
+const replicaCount = 3
+
+// episode bundles one smoke replica's handles so the harness can kill and
+// restart it.
+type episode struct {
+	coord   *fleet.Coordinator
+	master  *core.Framework // pristine incumbent the fleet serves clones of
+	servers []*serve.Server
+	https   []*httptest.Server
+	loops   []*online.Loop
+	names   []string
+}
+
+func runSmoke(seed int64, requests int) error {
+	ctx := context.Background()
+	fmt.Printf("fleet-smoke: %d replicas, seed %d\n", replicaCount, seed)
+
+	ep, err := buildEpisode(seed)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, ts := range ep.https {
+			ts.Close()
+		}
+		for _, s := range ep.servers {
+			_ = s.Shutdown(context.Background())
+		}
+	}()
+	incDigest := ml.WeightsDigest(ep.master.ExportWeights())
+	fmt.Println("incumbent", incDigest)
+
+	// Each replica labels its own stream slice into its reservoir.
+	feedLoops(ep, 20)
+
+	// Persist every reservoir before anything goes wrong.
+	dir, err := os.MkdirTemp("", "fleet-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := ep.coord.SaveBuffers(dir); err != nil {
+		return err
+	}
+
+	// Route the request stream, killing r1 a third of the way through: its
+	// keys fail over and nothing is dropped.
+	rng := sim.NewRNG(seed ^ 0x5710)
+	kill := requests / 3
+	for i := 0; i < requests; i++ {
+		if i == kill {
+			ep.https[1].Close()
+			_ = ep.servers[1].Shutdown(ctx)
+			ep.coord.Note("kill r1")
+		}
+		if _, err := ep.coord.Predict(ctx, fmt.Sprintf("w%03d", i), smokeMatrix(rng)); err != nil {
+			return fmt.Errorf("request %d dropped: %w", i, err)
+		}
+	}
+
+	// A rollout while r1 is dead must halt and roll the promoted prefix
+	// back to the incumbent digest.
+	deadCand := trainOn(mustMerged(ep), seed+100)
+	if err := ep.coord.Promote(ctx, deadCand); err == nil {
+		return fmt.Errorf("promotion with a dead replica unexpectedly succeeded")
+	}
+	for i, s := range ep.servers {
+		if got := s.ModelDigest(); got != incDigest {
+			return fmt.Errorf("replica %s serves %s after rollback, want incumbent %s", ep.names[i], got, incDigest)
+		}
+	}
+
+	// Restart r1 under the same identity and restore every reservoir from
+	// disk; the fleet's merged corpus must digest exactly as before the kill.
+	if err := restartReplica(ep, 1, seed); err != nil {
+		return err
+	}
+	if err := ep.coord.LoadBuffers(dir); err != nil {
+		return err
+	}
+	merged, err := ep.coord.MergedDataset()
+	if err != nil {
+		return err
+	}
+	var reversed []*dataset.Dataset
+	for i := len(ep.loops) - 1; i >= 0; i-- {
+		reversed = append(reversed, ep.loops[i].ExportBuffer(ep.names[i]))
+	}
+	back, err := dataset.MergeAll(reversed...)
+	if err != nil {
+		return err
+	}
+	orderOK := "ok"
+	if merged.Digest() != back.Digest() {
+		orderOK = "DIVERGED"
+	}
+	fmt.Printf("merged %d samples digest %s (order-independent: %s)\n", merged.Len(), merged.Digest(), orderOK)
+
+	// Retrain on the fleet's combined history and roll it out cleanly.
+	cand := trainOn(merged, seed+200)
+	fmt.Println("retrained candidate", ml.WeightsDigest(cand.ExportWeights()))
+	if err := ep.coord.Promote(ctx, cand); err != nil {
+		return fmt.Errorf("final rollout: %w", err)
+	}
+
+	for _, ev := range ep.coord.Timeline() {
+		fmt.Println(ev)
+	}
+	st := ep.coord.Status(ctx)
+	fmt.Printf("fleet consistent: %v %s model %s\n", st.Consistent, st.APIVersion, st.ModelDigest)
+	fmt.Printf("accepted %d/%d dropped %d\n", ep.coord.Accepted(), requests, ep.coord.Dropped())
+	if st.Healthy != replicaCount || !st.Consistent || ep.coord.Dropped() != 0 {
+		return fmt.Errorf("episode did not converge: %d healthy, consistent %v, %d dropped",
+			st.Healthy, st.Consistent, ep.coord.Dropped())
+	}
+	fmt.Println("fleet-smoke: OK")
+	return nil
+}
+
+func buildEpisode(seed int64) (*episode, error) {
+	master, err := smokeFramework(seed)
+	if err != nil {
+		return nil, err
+	}
+	ep := &episode{master: master}
+	replicas := make([]*fleet.Replica, replicaCount)
+	for i := 0; i < replicaCount; i++ {
+		name := fmt.Sprintf("r%d", i)
+		s, ts, loop, err := bootReplica(master, seed, i)
+		if err != nil {
+			return nil, err
+		}
+		ep.servers = append(ep.servers, s)
+		ep.https = append(ep.https, ts)
+		ep.loops = append(ep.loops, loop)
+		ep.names = append(ep.names, name)
+		replicas[i] = fleet.NewReplica(name, s, serve.NewClient(ts.URL), loop)
+	}
+	ep.coord, err = fleet.New(fleet.Config{Seed: seed}, replicas...)
+	if err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// bootReplica starts one serving instance on a clone of the incumbent.
+func bootReplica(master *core.Framework, seed int64, i int) (*serve.Server, *httptest.Server, *online.Loop, error) {
+	fw, err := master.Clone()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := serve.New(fw, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	loop, err := online.NewLoop(s, online.Config{Seed: seed + int64(i)})
+	if err != nil {
+		ts.Close()
+		return nil, nil, nil, err
+	}
+	return s, ts, loop, nil
+}
+
+// restartReplica boots a fresh server + empty loop for slot i and rebinds
+// it into the coordinator under its old name.
+func restartReplica(ep *episode, i int, seed int64) error {
+	s, ts, loop, err := bootReplica(ep.master, seed, i)
+	if err != nil {
+		return err
+	}
+	ep.servers[i], ep.https[i], ep.loops[i] = s, ts, loop
+	return ep.coord.Rebind(ep.names[i], s, serve.NewClient(ts.URL), loop)
+}
+
+// feedLoops offers nEach deterministic labeled windows to every replica's
+// loop; alternating degradation keeps both classes represented.
+func feedLoops(ep *episode, nEach int) {
+	for i, l := range ep.loops {
+		rng := sim.NewRNG(1000 + int64(i))
+		for w := 0; w < nEach; w++ {
+			mat := smokeMatrix(rng)
+			l.OfferWindow(mat)
+			l.OfferLabeled(online.Example{Window: w, Matrix: mat, Degradation: 1 + 2*float64(w%2)})
+		}
+	}
+}
+
+func mustMerged(ep *episode) *dataset.Dataset {
+	ds, err := ep.coord.MergedDataset()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// trainOn trains a candidate on the merged fleet corpus; same corpus + same
+// seed = bit-identical weights, which is what the byte-compared smoke pins.
+func trainOn(ds *dataset.Dataset, seed int64) *core.Framework {
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: seed, Train: ml.TrainConfig{Epochs: 5}})
+	if err != nil {
+		panic(err)
+	}
+	return fw
+}
+
+const nTargets, nFeat = 3, 5
+
+// smokeFramework trains the episode's tiny synthetic incumbent (same shape
+// as quantserve -smoke).
+func smokeFramework(seed int64) (*core.Framework, error) {
+	names := make([]string, nFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, nTargets, 2)
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 64; i++ {
+		vecs := make([][]float64, nTargets)
+		for t := range vecs {
+			v := make([]float64, nFeat)
+			for f := range v {
+				v[f] = rng.NormFloat64() + 2*float64(i%2)
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{Label: i % 2, Degradation: 1 + 2*float64(i%2), Vectors: vecs})
+	}
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: seed, Train: ml.TrainConfig{Epochs: 5}})
+	return fw, err
+}
+
+func smokeMatrix(rng *sim.RNG) window.Matrix {
+	mat := make(window.Matrix, nTargets)
+	for t := range mat {
+		row := make([]float64, nFeat)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		mat[t] = row
+	}
+	return mat
+}
+
+// runStatus probes each name=url replica and prints the aggregate view.
+func runStatus(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("quantfleet: -status needs at least one name=url or url argument")
+	}
+	replicas := make([]*fleet.Replica, len(args))
+	for i, arg := range args {
+		name, url := fmt.Sprintf("r%d", i), arg
+		if eq := strings.IndexByte(arg, '='); eq > 0 && !strings.HasPrefix(arg, "http") {
+			name, url = arg[:eq], arg[eq+1:]
+		}
+		replicas[i] = fleet.NewReplica(name, nil, serve.NewClient(url, serve.WithTimeout(5*time.Second)), nil)
+	}
+	c, err := fleet.New(fleet.Config{}, replicas...)
+	if err != nil {
+		return err
+	}
+	st := c.Status(context.Background())
+	for _, r := range st.Replicas {
+		if !r.Healthy {
+			fmt.Printf("%-12s DOWN (%s)\n", r.Name, r.Cause)
+			continue
+		}
+		fmt.Printf("%-12s ok %s model %s %dx%d/%d classes\n", r.Name,
+			r.Health.APIVersion, r.Health.ModelDigest, r.Health.Targets, r.Health.Features, r.Health.Classes)
+	}
+	fmt.Printf("healthy %d/%d consistent %v\n", st.Healthy, len(st.Replicas), st.Consistent)
+	if !st.Consistent {
+		return fmt.Errorf("quantfleet: fleet is not consistent")
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quantfleet:", err)
+	os.Exit(1)
+}

@@ -85,15 +85,6 @@ func TestRunEInvalidScenario(t *testing.T) {
 	}
 }
 
-func TestRunPanicsWhereRunEErrors(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run(Scenario{}) did not panic")
-		}
-	}()
-	Run(Scenario{})
-}
-
 // TestRunEStatsAlwaysPopulated covers the acceptance criterion that every
 // run reports observability stats, with or without an explicit sink.
 func TestRunEStatsAlwaysPopulated(t *testing.T) {

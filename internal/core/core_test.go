@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"quanterference/internal/dataset"
 	"quanterference/internal/label"
 	"quanterference/internal/lustre"
 	"quanterference/internal/ml"
@@ -11,6 +12,33 @@ import (
 	"quanterference/internal/workload"
 	"quanterference/internal/workload/io500"
 )
+
+// Run, CollectDataset, and TrainFramework are panic-on-error shims for test
+// brevity: every scenario below is valid by construction, so an error is a
+// test bug and a panic points straight at it.
+func Run(s Scenario, opts ...Option) *RunResult {
+	res, err := RunE(s, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func CollectDataset(base Scenario, variants []Variant, cfg CollectorConfig) *dataset.Dataset {
+	ds, err := CollectDatasetE(base, variants, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TrainFramework(ds *dataset.Dataset, cfg FrameworkConfig) (*Framework, *ml.Confusion) {
+	fw, cm, err := TrainFrameworkE(ds, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fw, cm
+}
 
 // smallTarget is a quick ior-easy-write target spec. It writes well past
 // the per-OST write-back limit so the disks, not the caches, set its pace.

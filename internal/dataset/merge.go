@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSchemaMismatch reports an attempt to merge datasets whose schemas
+// (target count, feature width, or class count) differ. Match with
+// errors.Is.
+var ErrSchemaMismatch = errors.New("dataset: merging incompatible schemas")
+
+// less is the canonical sample ordering: identity key (workload, run,
+// window) first, then content (degradation, label, vector bits) so that the
+// order is total even across samples that share a key. A total order is what
+// makes Sort — and therefore MergeAll's digest — independent of input order.
+func less(a, b *Sample) bool {
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if a.Run != b.Run {
+		return a.Run < b.Run
+	}
+	if a.Window != b.Window {
+		return a.Window < b.Window
+	}
+	if a.Degradation != b.Degradation {
+		return a.Degradation < b.Degradation
+	}
+	if a.Label != b.Label {
+		return a.Label < b.Label
+	}
+	for t := range a.Vectors {
+		if t >= len(b.Vectors) {
+			return false
+		}
+		av, bv := a.Vectors[t], b.Vectors[t]
+		for f := range av {
+			if f >= len(bv) {
+				return false
+			}
+			if av[f] != bv[f] {
+				return av[f] < bv[f]
+			}
+		}
+		if len(av) != len(bv) {
+			return len(av) < len(bv)
+		}
+	}
+	return len(a.Vectors) < len(b.Vectors)
+}
+
+// sameKey reports whether two samples describe the same (workload, run,
+// window) — the identity the fleet's buffer merge deduplicates on: two
+// replicas that both labeled window w of run r hold the same ground truth.
+func sameKey(a, b *Sample) bool {
+	return a.Workload == b.Workload && a.Run == b.Run && a.Window == b.Window
+}
+
+// Sort orders the samples canonically (see less) in place. Two datasets
+// holding the same sample multiset render identically after Sort, whatever
+// order the samples arrived in.
+func (d *Dataset) Sort() {
+	sort.Slice(d.Samples, func(i, j int) bool { return less(d.Samples[i], d.Samples[j]) })
+}
+
+// Dedupe sorts canonically and drops every sample that repeats an earlier
+// sample's (workload, run, window) key, keeping the canonically-first one —
+// deterministic regardless of arrival order because the content tiebreak in
+// the sort is total. Returns the number of samples dropped.
+func (d *Dataset) Dedupe() int {
+	d.Sort()
+	kept := d.Samples[:0]
+	for _, s := range d.Samples {
+		if len(kept) > 0 && sameKey(kept[len(kept)-1], s) {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	dropped := len(d.Samples) - len(kept)
+	for i := len(kept); i < len(d.Samples); i++ {
+		d.Samples[i] = nil // keep the tail collectable
+	}
+	d.Samples = kept
+	return dropped
+}
+
+// Digest hashes the dataset bit-exactly — schema, profile, and every sample
+// (strings length-prefixed, floats as little-endian IEEE bits) — and returns
+// the first 16 hex digits of the sha256. Datasets that render differently
+// digest differently; use after Sort (or via MergeAll) to get an
+// order-independent identity for a sample multiset.
+func (d *Dataset) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	writeInt(len(d.FeatureNames))
+	for _, n := range d.FeatureNames {
+		writeStr(n)
+	}
+	writeInt(d.NTargets)
+	writeInt(d.Classes)
+	writeStr(d.Profile)
+	writeInt(len(d.Samples))
+	for _, s := range d.Samples {
+		writeStr(s.Workload)
+		writeStr(s.Run)
+		writeInt(s.Window)
+		writeFloat(s.Degradation)
+		writeInt(s.Label)
+		writeInt(len(s.Vectors))
+		for _, vec := range s.Vectors {
+			writeInt(len(vec))
+			for _, x := range vec {
+				writeFloat(x)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// MergeAll combines any number of datasets into one canonical dataset: the
+// union of all samples, deduplicated on (workload, run, window), in the
+// canonical sort order. The result — and its Digest — is bit-identical
+// regardless of the order the inputs are given in, which is what lets a
+// fleet coordinator merge per-replica reservoir exports in whatever order
+// replicas answer and still retrain identical weights.
+//
+// The profile stamp is resolved order-independently: empty stamps are
+// wildcards, one distinct non-empty profile wins, more than one reads
+// "mixed". Schema mismatches return ErrSchemaMismatch (wrapped) instead of
+// panicking. Samples are shared with the inputs, not copied; nil inputs are
+// skipped. At least one non-nil input is required.
+func MergeAll(sets ...*Dataset) (*Dataset, error) {
+	var first *Dataset
+	for _, s := range sets {
+		if s != nil {
+			first = s
+			break
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("%w: no datasets to merge", ErrSchemaMismatch)
+	}
+	out := New(first.FeatureNames, first.NTargets, first.Classes)
+	profiles := map[string]bool{}
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		if s.NTargets != out.NTargets || len(s.FeatureNames) != len(out.FeatureNames) ||
+			s.Classes != out.Classes {
+			return nil, fmt.Errorf("%w: %dx%d/%d classes vs %dx%d/%d classes",
+				ErrSchemaMismatch, s.NTargets, len(s.FeatureNames), s.Classes,
+				out.NTargets, len(out.FeatureNames), out.Classes)
+		}
+		if s.Profile != "" {
+			profiles[s.Profile] = true
+		}
+		out.Samples = append(out.Samples, s.Samples...)
+	}
+	switch len(profiles) {
+	case 0:
+	case 1:
+		for p := range profiles {
+			out.Profile = p
+		}
+	default:
+		out.Profile = "mixed"
+	}
+	out.Dedupe()
+	return out, nil
+}

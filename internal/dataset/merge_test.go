@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// mergeSample builds a deterministic sample keyed by (run, window).
+func mergeSample(run string, win int, label int) *Sample {
+	return &Sample{
+		Workload:    "w",
+		Run:         run,
+		Window:      win,
+		Degradation: 1 + float64(win)/10,
+		Label:       label,
+		Vectors:     [][]float64{{float64(win), float64(label)}},
+	}
+}
+
+func mergeDataset(profile string, samples ...*Sample) *Dataset {
+	d := New([]string{"a", "b"}, 1, 2)
+	d.Profile = profile
+	for _, s := range samples {
+		d.Add(s)
+	}
+	return d
+}
+
+// TestMergeAllOrderIndependent pins the fleet-merge determinism contract:
+// three reservoir exports merged in every permutation yield one digest.
+func TestMergeAllOrderIndependent(t *testing.T) {
+	a := mergeDataset("paper", mergeSample("r0", 0, 0), mergeSample("r0", 1, 1))
+	b := mergeDataset("paper", mergeSample("r1", 0, 1), mergeSample("r1", 2, 0))
+	c := mergeDataset("paper", mergeSample("r2", 5, 0), mergeSample("r2", 6, 1))
+
+	perms := [][]*Dataset{
+		{a, b, c}, {a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+	}
+	var want string
+	for i, p := range perms {
+		m, err := MergeAll(p...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != 6 {
+			t.Fatalf("perm %d: merged %d samples, want 6", i, m.Len())
+		}
+		got := m.Digest()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("perm %d: digest %s, want %s (merge order leaked into the result)", i, got, want)
+		}
+	}
+
+	// The canonical digest differs from an unsorted concatenation's: Digest
+	// is order-sensitive by design, MergeAll is what canonicalizes.
+	cat := mergeDataset("paper")
+	cat.Merge(c)
+	cat.Merge(a)
+	cat.Merge(b)
+	if cat.Digest() == want {
+		t.Fatal("unsorted concatenation digests like the canonical merge — Sort is a no-op?")
+	}
+	cat.Sort()
+	if cat.Digest() != want {
+		t.Fatal("sorted concatenation does not match the canonical merge digest")
+	}
+}
+
+// TestMergeAllDedupes: two replicas that both labeled the same (workload,
+// run, window) contribute it once; distinct windows all survive.
+func TestMergeAllDedupes(t *testing.T) {
+	shared := mergeSample("r", 3, 1)
+	dup := mergeSample("r", 3, 1) // same key, same content, distinct pointer
+	a := mergeDataset("", shared, mergeSample("r", 1, 0))
+	b := mergeDataset("", dup, mergeSample("r", 2, 0))
+
+	m, err := MergeAll(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("merged %d samples, want 3 (window 3 deduplicated)", m.Len())
+	}
+	seen := map[int]int{}
+	for _, s := range m.Samples {
+		seen[s.Window]++
+	}
+	for w, n := range seen {
+		if n != 1 {
+			t.Fatalf("window %d appears %d times", w, n)
+		}
+	}
+
+	// Same-key, different-content duplicates resolve deterministically to the
+	// canonically-first sample, whichever side it arrives on.
+	lo := mergeSample("r", 9, 0)
+	hi := mergeSample("r", 9, 1)
+	m1, _ := MergeAll(mergeDataset("", lo), mergeDataset("", hi))
+	m2, _ := MergeAll(mergeDataset("", hi), mergeDataset("", lo))
+	if m1.Digest() != m2.Digest() {
+		t.Fatal("conflicting duplicate resolved differently depending on merge order")
+	}
+	var kept *Sample
+	for _, s := range m1.Samples {
+		if s.Window == 9 {
+			kept = s
+		}
+	}
+	if kept == nil || kept.Label != 0 {
+		t.Fatalf("kept sample = %+v, want the canonically-first (label 0)", kept)
+	}
+}
+
+// TestMergeAllProfiles: "mixed" only when profiles actually differ; empty
+// stamps are wildcards; resolution is order-independent.
+func TestMergeAllProfiles(t *testing.T) {
+	cases := []struct {
+		profiles []string
+		want     string
+	}{
+		{[]string{"paper", "paper", "paper"}, "paper"},
+		{[]string{"", "", ""}, ""},
+		{[]string{"", "nvme", ""}, "nvme"},
+		{[]string{"paper", "nvme", "paper"}, "mixed"},
+		{[]string{"", "paper", "nvme"}, "mixed"},
+	}
+	for _, tc := range cases {
+		sets := make([]*Dataset, len(tc.profiles))
+		for i, p := range tc.profiles {
+			sets[i] = mergeDataset(p, mergeSample(fmt.Sprintf("r%d", i), i, 0))
+		}
+		for pass := 0; pass < 2; pass++ {
+			m, err := MergeAll(sets...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Profile != tc.want {
+				t.Fatalf("profiles %v (pass %d): stamp %q, want %q", tc.profiles, pass, m.Profile, tc.want)
+			}
+			// Reverse for the second pass: same resolution either way.
+			for i, j := 0, len(sets)-1; i < j; i, j = i+1, j-1 {
+				sets[i], sets[j] = sets[j], sets[i]
+			}
+		}
+	}
+}
+
+// TestMergeAllSchemaMismatch: incompatible schemas are a typed error, not a
+// panic, and nil inputs are skipped.
+func TestMergeAllSchemaMismatch(t *testing.T) {
+	a := mergeDataset("", mergeSample("r", 0, 0))
+	narrow := New([]string{"a"}, 1, 2)
+	if _, err := MergeAll(a, narrow); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("mismatched width err = %v, want ErrSchemaMismatch", err)
+	}
+	if _, err := MergeAll(nil, nil); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("all-nil err = %v, want ErrSchemaMismatch", err)
+	}
+	m, err := MergeAll(nil, a, nil)
+	if err != nil || m.Len() != 1 {
+		t.Fatalf("nil-skipping merge = %v, %d samples", err, m.Len())
+	}
+}

@@ -121,7 +121,7 @@ func CaseStudyMitigation(cfg CaseStudyConfig) *CaseStudyResult {
 	// an interference sweep.
 	ds := collectFor(DatasetConfig{Scale: cfg.Scale, Seed: cfg.Seed, Reps: 2},
 		"protected", caseStudyTarget(cfg.Scale), InterferenceSweep(cfg.Scale))
-	fw, _ := core.TrainFramework(ds, core.FrameworkConfig{
+	fw, _ := mustTrain(ds, core.FrameworkConfig{
 		Seed: cfg.Seed, Train: ml.TrainConfig{Epochs: cfg.Epochs, Seed: cfg.Seed},
 	})
 

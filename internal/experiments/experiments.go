@@ -17,9 +17,33 @@ import (
 	"fmt"
 
 	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
 	"quanterference/internal/sim"
 	"quanterference/internal/workload/io500"
 )
+
+// mustRun executes a scenario, panicking on scenario or topology errors. The
+// experiment drivers run inside par.Map workers where a panic is the
+// established failure mode for impossible configurations — every scenario
+// here is built from constants, so an error is a programming bug, not input.
+func mustRun(s core.Scenario) *core.RunResult {
+	res, err := core.RunE(s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// mustTrain trains the framework, panicking on empty datasets or invalid
+// configs for the same reason as mustRun.
+func mustTrain(ds *dataset.Dataset, cfg core.FrameworkConfig) (*core.Framework, *ml.Confusion) {
+	fw, cm, err := core.TrainFrameworkE(ds, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fw, cm
+}
 
 // Scale shrinks or grows every experiment's workload volume. 1.0 is the
 // default used by cmd/figures; tests and benchmarks use smaller values.

@@ -33,7 +33,7 @@ func trainEvalAttention(name string, ds *dataset.Dataset, bins label.Bins, epoch
 		classNames[c] = bins.Name(c)
 	}
 	train, test := ds.Split(0.2, seed^0x5717)
-	_, cm := core.TrainFramework(ds, core.FrameworkConfig{
+	_, cm := mustTrain(ds, core.FrameworkConfig{
 		Bins: bins, Seed: seed,
 		Train: ml.TrainConfig{Epochs: epochs, Seed: seed},
 		NewModel: func(nTargets, nFeat, classes int, s int64) ml.Model {

@@ -79,7 +79,7 @@ func enzoTarget(cfg Figure1Config) core.TargetSpec {
 
 // figure1Run measures one Enzo run and returns its records.
 func figure1Run(cfg Figure1Config, interf []core.InterferenceSpec) []workload.Record {
-	res := core.Run(core.Scenario{
+	res := mustRun(core.Scenario{
 		Target:       enzoTarget(cfg),
 		Interference: interf,
 		MaxTime:      cfg.MaxTime,

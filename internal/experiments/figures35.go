@@ -82,7 +82,7 @@ func TrainEvalWith(name string, ds *dataset.Dataset, bins label.Bins, epochs int
 	}
 	train, test := ds.Split(0.2, seed^0x5717)
 	// TrainFramework re-splits identically (same seed), so counts match.
-	_, cm := core.TrainFramework(ds, core.FrameworkConfig{
+	_, cm := mustTrain(ds, core.FrameworkConfig{
 		Bins: bins, Seed: seed, Flat: flat,
 		Train: ml.TrainConfig{Epochs: epochs, Seed: seed},
 	})

@@ -2,11 +2,7 @@ package experiments
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"math"
 	"strings"
 
 	"quanterference/internal/core"
@@ -101,16 +97,11 @@ type LeadTimeResult struct {
 
 // weightsDigest hashes weight tensors bit-exactly (float64 little-endian),
 // so any single-ulp divergence between same-seed runs changes the digest.
+// It is the same identity the serving layer stamps on replies
+// (ml.WeightsDigest), so a study's pinned digest can be checked against a
+// live /v1/healthz.
 func weightsDigest(weights [][]float64) string {
-	h := sha256.New()
-	var buf [8]byte
-	for _, tensor := range weights {
-		for _, w := range tensor {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
-			h.Write(buf[:])
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return ml.WeightsDigest(weights)
 }
 
 // leadtimeSweep is the interference schedule for forecasting runs. Unlike

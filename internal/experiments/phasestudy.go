@@ -116,7 +116,7 @@ func PhaseStudy(cfg PhaseStudyConfig) *PhaseStudyResult {
 	}
 
 	run := func(seq *workload.Sequence, interf []core.InterferenceSpec) []sim.Time {
-		res := core.Run(core.Scenario{
+		res := mustRun(core.Scenario{
 			Target:       core.TargetSpec{Gen: seq, Nodes: targetNodes, Ranks: cfg.Ranks},
 			Interference: interf,
 			MaxTime:      cfg.MaxTime,

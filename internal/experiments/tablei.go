@@ -86,7 +86,7 @@ func TableI(cfg TableIConfig) *TableIResult {
 	// Every cell is an independent simulation: 7 standalone runs plus a
 	// 7x7 grid, fanned out across cores.
 	par.Map(len(tasks), func(i int) {
-		base := core.Run(targetScenario(tasks[i], targetParams, nil, cfg.MaxTime, profile))
+		base := mustRun(targetScenario(tasks[i], targetParams, nil, cfg.MaxTime, profile))
 		if !base.Finished {
 			panic(fmt.Sprintf("experiments: standalone %s exceeded MaxTime", tasks[i]))
 		}
@@ -99,7 +99,7 @@ func TableI(cfg TableIConfig) *TableIResult {
 		interf := tasks[j]
 		specs := IO500Instances(interf, cfg.Instances, cfg.RanksPerInstance,
 			interferenceParams(cfg.Scale), fmt.Sprintf("/bg-%s", interf))
-		run := core.Run(targetScenario(tasks[i], targetParams, specs, cfg.MaxTime, profile))
+		run := mustRun(targetScenario(tasks[i], targetParams, specs, cfg.MaxTime, profile))
 		res.Slowdown[i][j] = float64(run.Duration) / float64(res.Standalone[i])
 	})
 	return res

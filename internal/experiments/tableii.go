@@ -33,7 +33,7 @@ func TableII(scale Scale) *TableIIResult {
 	}
 	p := io500.Params{Dir: "/t2", Ranks: 4,
 		EasyFileBytes: scale.Bytes(32 << 20), MdtFiles: scale.Count(200)}
-	res := core.Run(core.Scenario{
+	res := mustRun(core.Scenario{
 		Target: core.TargetSpec{
 			Gen:   io500.New(io500.IorEasyWrite, p),
 			Nodes: targetNodes,

@@ -1,0 +1,580 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/forecast"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/online"
+	"quanterference/internal/serve"
+	"quanterference/internal/sim"
+)
+
+const (
+	testTargets = 3
+	testFeat    = 5
+)
+
+// trainedFramework trains a tiny 2-class framework on synthetic data; seed
+// varies the weights, so two different seeds give two distinct digests.
+func trainedFramework(tb testing.TB, seed int64) *core.Framework {
+	tb.Helper()
+	names := make([]string, testFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, testTargets, 2)
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 64; i++ {
+		vecs := make([][]float64, testTargets)
+		for t := range vecs {
+			v := make([]float64, testFeat)
+			for f := range v {
+				v[f] = rng.NormFloat64() + 2*float64(i%2)
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{Label: i % 2, Degradation: 1 + 2*float64(i%2), Vectors: vecs})
+	}
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: seed, Train: ml.TrainConfig{Epochs: 5}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fw
+}
+
+func trainedForecaster(tb testing.TB, seed int64) *forecast.Forecaster {
+	tb.Helper()
+	names := make([]string, testFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, testTargets, 2)
+	rng := sim.NewRNG(seed)
+	for r := 0; r < 4; r++ {
+		for w := 0; w < 16; w++ {
+			degraded := w >= 10
+			vecs := make([][]float64, testTargets)
+			for t := range vecs {
+				v := make([]float64, testFeat)
+				for f := range v {
+					v[f] = 0.2*float64(w) + rng.NormFloat64()
+					if degraded {
+						v[f] += 3
+					}
+				}
+				vecs[t] = v
+			}
+			s := &dataset.Sample{Workload: "fleet", Run: fmt.Sprintf("r%d", r), Window: w,
+				Degradation: 1, Vectors: vecs}
+			if degraded {
+				s.Label, s.Degradation = 1, 3
+			}
+			ds.Add(s)
+		}
+	}
+	fc, _, err := core.TrainForecasterCtx(context.Background(), ds, core.ForecasterConfig{
+		Forecast: forecast.Config{History: 3, Horizons: []int{1, 2}},
+		Train:    ml.TrainConfig{Epochs: 5},
+		Seed:     seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fc
+}
+
+// testMatrix is a deterministic prediction input.
+func testMatrix(rng *sim.RNG) window.Matrix {
+	mat := make(window.Matrix, testTargets)
+	for t := range mat {
+		row := make([]float64, testFeat)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		mat[t] = row
+	}
+	return mat
+}
+
+// testFleet is the in-process multi-replica harness: n serve.Servers behind
+// httptest listeners, each with an online loop, fronted by one coordinator.
+type testFleet struct {
+	c       *Coordinator
+	servers []*serve.Server
+	https   []*httptest.Server
+	loops   []*online.Loop
+	names   []string
+}
+
+// newTestFleet spins up n replicas all serving clones of the same trained
+// framework (a consistent fleet), with per-replica online loops.
+func newTestFleet(tb testing.TB, n int, seed int64) *testFleet {
+	tb.Helper()
+	master := trainedFramework(tb, seed)
+	f := &testFleet{}
+	replicas := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		fw, err := master.Clone()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		s := serve.New(fw, serve.Config{})
+		ts := httptest.NewServer(s.Handler())
+		loop, err := online.NewLoop(s, online.Config{Seed: seed + int64(i)})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		name := fmt.Sprintf("r%d", i)
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, ts)
+		f.loops = append(f.loops, loop)
+		f.names = append(f.names, name)
+		replicas[i] = NewReplica(name, s, serve.NewClient(ts.URL), loop)
+	}
+	c, err := New(Config{Seed: seed}, replicas...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f.c = c
+	tb.Cleanup(func() {
+		for _, ts := range f.https {
+			ts.Close()
+		}
+		for _, s := range f.servers {
+			_ = s.Shutdown(context.Background())
+		}
+	})
+	return f
+}
+
+// feedLoops offers nEach deterministic labeled examples to every loop.
+func (f *testFleet) feedLoops(nEach int) {
+	for i, l := range f.loops {
+		rng := sim.NewRNG(1000 + int64(i))
+		for w := 0; w < nEach; w++ {
+			mat := testMatrix(rng)
+			l.OfferWindow(mat)
+			l.OfferLabeled(online.Example{Window: w, Matrix: mat, Degradation: 1 + 2*float64(w%2)})
+		}
+	}
+}
+
+// TestRoutingDeterministicSpread pins the rendezvous router: same seed ⇒
+// identical timelines across two independent fleets, every replica owns a
+// share of the keyspace, and repeated keys route to the same replica.
+func TestRoutingDeterministicSpread(t *testing.T) {
+	ctx := context.Background()
+	a := newTestFleet(t, 3, 42)
+	b := newTestFleet(t, 3, 42)
+	rngA, rngB := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("w%02d", i)
+		if _, err := a.c.Predict(ctx, key, testMatrix(rngA)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.c.Predict(ctx, key, testMatrix(rngB)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ta, tb := a.c.Timeline(), b.c.Timeline()
+	if len(ta) != 30 {
+		t.Fatalf("timeline has %d events, want 30 routes", len(ta))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("same-seed fleets diverged at event %d: %q vs %q", i, ta[i], tb[i])
+		}
+	}
+
+	perReplica := map[string]int{}
+	for _, ev := range ta {
+		parts := strings.Fields(ev)
+		if parts[0] != "route" {
+			t.Fatalf("unexpected event %q in a healthy episode", ev)
+		}
+		perReplica[parts[2]]++
+	}
+	for _, name := range a.names {
+		if perReplica[name] == 0 {
+			t.Fatalf("replica %s owns no keys: distribution %v", name, perReplica)
+		}
+	}
+
+	// Same key again routes to the same replica.
+	resp1, err := a.c.Predict(ctx, "w00", testMatrix(sim.NewRNG(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp1
+	tl := a.c.Timeline()
+	if tl[len(tl)-1] != ta[0] {
+		t.Fatalf("key w00 routed %q, first episode routed %q", tl[len(tl)-1], ta[0])
+	}
+}
+
+// TestFailoverDropsNothing kills one of three replicas and checks every
+// request still lands: the killed replica's keys fail over deterministically
+// and Dropped stays zero.
+func TestFailoverDropsNothing(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 11)
+	rng := sim.NewRNG(3)
+
+	f.https[1].Close() // kill r1's listener: transport errors, not HTTP ones
+	f.c.Note("kill r1")
+
+	sawRetry := false
+	for i := 0; i < 24; i++ {
+		resp, err := f.c.Predict(ctx, fmt.Sprintf("w%02d", i), testMatrix(rng))
+		if err != nil {
+			t.Fatalf("request %d dropped: %v", i, err)
+		}
+		if resp.ModelDigest != f.servers[0].ModelDigest() {
+			t.Fatalf("request %d answered with digest %s, fleet serves %s",
+				i, resp.ModelDigest, f.servers[0].ModelDigest())
+		}
+	}
+	for _, ev := range f.c.Timeline() {
+		if strings.HasPrefix(ev, "retry w") {
+			if !strings.Contains(ev, "r1 unreachable") {
+				t.Fatalf("retry event %q does not blame the killed replica", ev)
+			}
+			sawRetry = true
+		}
+		if strings.HasPrefix(ev, "route") && strings.HasSuffix(ev, " r1") {
+			t.Fatalf("killed replica still answered: %q", ev)
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no key preferred the killed replica; routing spread is suspect")
+	}
+	if got := f.c.Accepted(); got != 24 {
+		t.Fatalf("accepted %d of 24", got)
+	}
+	if got := f.c.Dropped(); got != 0 {
+		t.Fatalf("dropped %d requests with two healthy replicas", got)
+	}
+}
+
+// TestStatusAggregation pins the health view: a consistent fleet, then a
+// killed replica (still consistent among the healthy), then a divergent
+// model digest (inconsistent).
+func TestStatusAggregation(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 5)
+
+	st := f.c.Status(ctx)
+	if st.Healthy != 3 || !st.Consistent {
+		t.Fatalf("fresh fleet: healthy %d consistent %v", st.Healthy, st.Consistent)
+	}
+	if st.APIVersion != serve.APIVersion || st.ModelDigest != f.servers[0].ModelDigest() {
+		t.Fatalf("status advertises %s/%s", st.APIVersion, st.ModelDigest)
+	}
+	if st.Targets != testTargets || st.Features != testFeat {
+		t.Fatalf("status shape %dx%d, want %dx%d", st.Targets, st.Features, testTargets, testFeat)
+	}
+
+	f.https[2].Close()
+	st = f.c.Status(ctx)
+	if st.Healthy != 2 || !st.Consistent {
+		t.Fatalf("after kill: healthy %d consistent %v", st.Healthy, st.Consistent)
+	}
+	if st.Replicas[2].Healthy || st.Replicas[2].Cause != "unreachable" {
+		t.Fatalf("killed replica reported %+v", st.Replicas[2])
+	}
+
+	// Diverge r1's model: fleet no longer consistent.
+	other := trainedFramework(t, 99)
+	if err := f.servers[1].ReloadFramework(other); err != nil {
+		t.Fatal(err)
+	}
+	st = f.c.Status(ctx)
+	if st.Consistent {
+		t.Fatal("fleet with mixed digests reported consistent")
+	}
+	if st.ModelDigest != "" {
+		t.Fatalf("inconsistent fleet still advertises digest %q", st.ModelDigest)
+	}
+}
+
+// TestMergedDatasetOrderIndependent pins the federated-retraining corpus:
+// the coordinator's merge digests identically to a hand-rolled merge of the
+// same exports in reverse order, and distinct replicas never dedupe into
+// each other.
+func TestMergedDatasetOrderIndependent(t *testing.T) {
+	f := newTestFleet(t, 3, 21)
+	f.feedLoops(12)
+
+	merged, err := f.c.MergedDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3*12 {
+		t.Fatalf("merged %d samples, want %d", merged.Len(), 3*12)
+	}
+
+	var reversed []*dataset.Dataset
+	for i := len(f.loops) - 1; i >= 0; i-- {
+		reversed = append(reversed, f.loops[i].ExportBuffer(f.names[i]))
+	}
+	back, err := dataset.MergeAll(reversed...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Digest() != back.Digest() {
+		t.Fatalf("merge order changed the digest: %s vs %s", merged.Digest(), back.Digest())
+	}
+}
+
+// TestSaveLoadBuffers pins reservoir persistence: a restarted replica that
+// replays its saved export contributes the same samples to the fleet merge
+// as before the restart.
+func TestSaveLoadBuffers(t *testing.T) {
+	f := newTestFleet(t, 3, 33)
+	f.feedLoops(10)
+	dir := t.TempDir()
+
+	before, err := f.c.MergedDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c.SaveBuffers(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" r1: fresh server + empty loop under the same name.
+	fw, err := f.servers[1].Framework().Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(fw, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	loop, err := online.NewLoop(s, online.Config{Seed: 33 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c.Rebind("r1", s, serve.NewClient(ts.URL), loop); err != nil {
+		t.Fatal(err)
+	}
+	f.loops[1] = loop
+
+	if _, err := f.c.MergedDataset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.c.LoadBuffers(dir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.c.MergedDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Digest() != before.Digest() {
+		t.Fatalf("restored fleet corpus digest %s, want pre-restart %s", after.Digest(), before.Digest())
+	}
+
+	// Rebinding an unknown name is refused.
+	if err := f.c.Rebind("nope", s, serve.NewClient(ts.URL), nil); !errors.Is(err, ErrUnknownReplica) {
+		t.Fatalf("rebind of unknown replica = %v", err)
+	}
+}
+
+// flakyAdmin wraps a replica's admin plane and fails reloads on demand —
+// the injection point for rollback coverage.
+type flakyAdmin struct {
+	Admin
+	failReload bool
+}
+
+var errInjected = errors.New("injected reload failure")
+
+func (f *flakyAdmin) ReloadFramework(fw *core.Framework) error {
+	if f.failReload {
+		return errInjected
+	}
+	return f.Admin.ReloadFramework(fw)
+}
+
+func (f *flakyAdmin) ReloadForecaster(fc *forecast.Forecaster) error {
+	if f.failReload {
+		return errInjected
+	}
+	return f.Admin.ReloadForecaster(fc)
+}
+
+// TestPromoteRollsBack walks the rolling promotion through a mid-fleet
+// failure: the already-promoted replica returns to the incumbent digest,
+// the untouched replica never changes, and a later retry lands everywhere.
+func TestPromoteRollsBack(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 55)
+	incDigest := f.servers[0].ModelDigest()
+
+	flaky := &flakyAdmin{Admin: f.servers[1], failReload: true}
+	if err := f.c.Rebind("r1", flaky, serve.NewClient(f.https[1].URL), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cand := trainedFramework(t, 56)
+	candDigest := ml.WeightsDigest(cand.ExportWeights())
+	if candDigest == incDigest {
+		t.Fatal("candidate digests like the incumbent; test is vacuous")
+	}
+
+	err := f.c.Promote(ctx, cand)
+	if !errors.Is(err, ErrPromotionFailed) {
+		t.Fatalf("promotion with failing r1 = %v, want ErrPromotionFailed", err)
+	}
+	for i, s := range f.servers {
+		if got := s.ModelDigest(); got != incDigest {
+			t.Fatalf("replica r%d serves %s after rollback, want incumbent %s", i, got, incDigest)
+		}
+	}
+	tl := f.c.Timeline()
+	want := []string{
+		"promote r0 " + candDigest,
+		"promote-failed r1 reload",
+		"rollback r0 " + incDigest,
+	}
+	// The Rebind event leads the timeline; compare the tail.
+	if len(tl) < len(want) {
+		t.Fatalf("timeline too short: %q", tl)
+	}
+	for i, w := range want {
+		if got := tl[len(tl)-len(want)+i]; got != w {
+			t.Fatalf("timeline[%d] = %q, want %q (full: %q)", i, got, w, tl)
+		}
+	}
+
+	// Clear the fault: the retry promotes all three.
+	flaky.failReload = false
+	if err := f.c.Promote(ctx, cand); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.servers {
+		if got := s.ModelDigest(); got != candDigest {
+			t.Fatalf("replica r%d serves %s after rollout, want %s", i, got, candDigest)
+		}
+	}
+	// The candidate stays the caller's: promoting cloned per replica.
+	if f.servers[0].Framework() == cand {
+		t.Fatal("coordinator handed the caller's candidate to a replica instead of a clone")
+	}
+	if st := f.c.Status(ctx); !st.Consistent || st.ModelDigest != candDigest {
+		t.Fatalf("post-rollout status %+v, want consistent on %s", st, candDigest)
+	}
+}
+
+// TestPromoteRefusesUnreachable pins the preflight: a dead replica halts
+// the rollout and earlier steps roll back, leaving digests untouched.
+func TestPromoteRefusesUnreachable(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 77)
+	incDigest := f.servers[0].ModelDigest()
+	f.https[1].Close()
+
+	err := f.c.Promote(ctx, trainedFramework(t, 78))
+	if !errors.Is(err, ErrPromotionFailed) {
+		t.Fatalf("promotion with dead r1 = %v, want ErrPromotionFailed", err)
+	}
+	for i, s := range f.servers {
+		if got := s.ModelDigest(); got != incDigest {
+			t.Fatalf("replica r%d serves %s, want incumbent %s", i, got, incDigest)
+		}
+	}
+	tl := f.c.Timeline()
+	if tl[len(tl)-2] != "promote-failed r1 unreachable" || tl[len(tl)-1] != "rollback r0 "+incDigest {
+		t.Fatalf("timeline tail %q", tl[len(tl)-2:])
+	}
+}
+
+// TestPromoteForecaster pins the forecaster rollout: a clean first load
+// lands everywhere with one digest, and the sticky-first-load rollback
+// asymmetry is reported rather than hidden.
+func TestPromoteForecaster(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 91)
+	cand := trainedForecaster(t, 92)
+	candDigest := ml.WeightsDigest(cand.ExportWeights())
+
+	if err := f.c.PromoteForecaster(ctx, cand); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.servers {
+		if got := s.ForecasterDigest(); got != candDigest {
+			t.Fatalf("replica r%d forecaster %s, want %s", i, got, candDigest)
+		}
+	}
+	if st := f.c.Status(ctx); !st.Consistent || st.ForecasterDigest != candDigest {
+		t.Fatalf("status %+v, want consistent forecaster %s", st, candDigest)
+	}
+
+	// Second rollout that fails mid-fleet rolls the promoted replica back to
+	// the previous forecaster (a real incumbent now exists).
+	flaky := &flakyAdmin{Admin: f.servers[1], failReload: true}
+	if err := f.c.Rebind("r1", flaky, serve.NewClient(f.https[1].URL), nil); err != nil {
+		t.Fatal(err)
+	}
+	next := trainedForecaster(t, 93)
+	err := f.c.PromoteForecaster(ctx, next)
+	if !errors.Is(err, ErrPromotionFailed) {
+		t.Fatalf("forecaster rollout with failing r1 = %v", err)
+	}
+	for i, s := range f.servers {
+		if got := s.ForecasterDigest(); got != candDigest {
+			t.Fatalf("replica r%d forecaster %s after rollback, want %s", i, got, candDigest)
+		}
+	}
+}
+
+// TestConcurrentRoutingDuringPromotion exercises the coordinator under
+// -race: many goroutines predict through the fleet while a promotion and
+// status probes run. Every request must land (no drops — replicas stay
+// serving throughout a hot promotion).
+func TestConcurrentRoutingDuringPromotion(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 13)
+	cand := trainedFramework(t, 14)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := sim.NewRNG(int64(g))
+			for i := 0; i < 20; i++ {
+				if _, err := f.c.Predict(ctx, fmt.Sprintf("g%d-%d", g, i), testMatrix(rng)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f.c.Promote(ctx, cand); err != nil {
+			errs <- err
+		}
+		f.c.Status(ctx)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := f.c.Dropped(); got != 0 {
+		t.Fatalf("dropped %d requests during a hot promotion", got)
+	}
+}

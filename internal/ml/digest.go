@@ -1,0 +1,26 @@
+package ml
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// WeightsDigest hashes weight tensors bit-exactly (float64 little-endian
+// bits, tensors in ExportWeights order) and returns the first 16 hex digits
+// of the sha256 — short enough to stamp on every serving reply, exact enough
+// that any single-ulp divergence between same-seed runs changes the digest.
+// It is the model-version identity used across the serving and fleet layers:
+// two frameworks with the same digest answer bit-identically.
+func WeightsDigest(weights [][]float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, tensor := range weights {
+		for _, w := range tensor {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

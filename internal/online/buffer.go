@@ -65,11 +65,19 @@ func (b *Buffer) Seen() int { return b.seen }
 // unstamped. Vectors are shared with the buffered matrices, which stay
 // read-only.
 func (b *Buffer) Dataset(featureNames []string, nTargets, classes int, profile string) *dataset.Dataset {
+	return b.DatasetAs("online", featureNames, nTargets, classes, profile)
+}
+
+// DatasetAs is Dataset with an explicit run stamp — what a fleet replica
+// uses to export its reservoir under its own name, so merged exports from
+// replicas that happened to label the same window indices of different
+// streams stay distinct instead of deduplicating into one another.
+func (b *Buffer) DatasetAs(run string, featureNames []string, nTargets, classes int, profile string) *dataset.Dataset {
 	ds := dataset.New(featureNames, nTargets, classes)
 	ds.Profile = profile
 	for _, ex := range b.items {
 		ds.Add(&dataset.Sample{
-			Run:         "online",
+			Run:         run,
 			Window:      ex.Window,
 			Degradation: ex.Degradation,
 			Label:       ex.Label,
@@ -77,4 +85,21 @@ func (b *Buffer) Dataset(featureNames []string, nTargets, classes int, profile s
 		})
 	}
 	return ds
+}
+
+// ImportDataset replays a dataset (e.g. another instance's exported
+// reservoir, or a persisted one reloaded after a restart) through the
+// reservoir in sample order: every sample is Offered, so the resulting
+// resident set stays a deterministic function of the buffer seed and the
+// complete offer sequence, exactly as if the examples had arrived live.
+// Matrices are shared with the dataset, which must stay read-only.
+func (b *Buffer) ImportDataset(ds *dataset.Dataset) {
+	for _, s := range ds.Samples {
+		b.Offer(Example{
+			Window:      s.Window,
+			Matrix:      window.Matrix(s.Vectors),
+			Degradation: s.Degradation,
+			Label:       s.Label,
+		})
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"quanterference/internal/core"
+	"quanterference/internal/dataset"
 	"quanterference/internal/forecast"
 	"quanterference/internal/mitigate"
 	"quanterference/internal/ml"
@@ -279,6 +280,50 @@ func (l *Loop) Incumbent() *core.Framework { return l.incumbent }
 // BufferLen is the resident labeled-example count.
 func (l *Loop) BufferLen() int { return l.buf.Len() }
 
+// bufferSchema derives the dataset schema the reservoir exports and retrains
+// under: the incumbent's dims, with synthesized names when the feature width
+// is non-standard (ablations, tests).
+func (l *Loop) bufferSchema() (names []string, nTargets, classes int) {
+	nTargets, nFeat := l.incumbent.Dims()
+	names = window.FeatureNames()
+	if len(names) != nFeat {
+		names = make([]string, nFeat)
+		for i := range names {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+	}
+	return names, nTargets, l.incumbent.Classes()
+}
+
+// ExportBuffer snapshots the labeled-example reservoir as a dataset stamped
+// with the loop's hardware profile and instance as the run name — the
+// persistence/interchange hook the fleet layer uses: each replica exports
+// under its own name, the coordinator merges the exports with
+// dataset.MergeAll, and the merged history digests identically regardless of
+// which replica answered first. Vectors are shared with the buffered
+// matrices (read-only); Save the export for a disk round trip.
+func (l *Loop) ExportBuffer(instance string) *dataset.Dataset {
+	names, nTargets, classes := l.bufferSchema()
+	return l.buf.DatasetAs(instance, names, nTargets, classes, l.cfg.Profile)
+}
+
+// ImportBuffer replays an exported reservoir dataset (another instance's
+// ExportBuffer, or this one's reloaded after a restart) through the loop's
+// reservoir in sample order, after checking it matches the incumbent's input
+// schema. The buffer stays a deterministic function of its seed and the
+// complete offer sequence.
+func (l *Loop) ImportBuffer(ds *dataset.Dataset) error {
+	names, nTargets, classes := l.bufferSchema()
+	if ds.NTargets != nTargets || len(ds.FeatureNames) != len(names) || ds.Classes != classes {
+		return fmt.Errorf("%w: import is %dx%d/%d classes, incumbent reads %dx%d/%d classes",
+			dataset.ErrSchemaMismatch, ds.NTargets, len(ds.FeatureNames), ds.Classes,
+			nTargets, len(names), classes)
+	}
+	l.buf.ImportDataset(ds)
+	l.gBuffer.Set(float64(l.buf.Len()))
+	return nil
+}
+
 // SetGateMargin adjusts the promotion gate between steps — the knob the
 // rollback drill uses to force-reject the next candidate (see
 // GateConfig.Margin).
@@ -403,17 +448,8 @@ func (l *Loop) retrain(ctx context.Context) (*core.Framework, GateResult, error)
 	// function of (Config.Seed, round number).
 	seed := l.cfg.Seed ^ int64(l.retrains)*0x9e3779b9
 
-	nTargets, nFeat := l.incumbent.Dims()
-	names := window.FeatureNames()
-	if len(names) != nFeat {
-		// Non-standard feature width (ablations, tests): the names only fix
-		// the dataset's width, so synthesize them.
-		names = make([]string, nFeat)
-		for i := range names {
-			names[i] = fmt.Sprintf("f%d", i)
-		}
-	}
-	ds := l.buf.Dataset(names, nTargets, l.incumbent.Classes(), l.cfg.Profile)
+	names, nTargets, classes := l.bufferSchema()
+	ds := l.buf.Dataset(names, nTargets, classes, l.cfg.Profile)
 	trainDS, holdout := ds.Split(l.cfg.Gate.HoldFrac, seed^0x60a7)
 	if trainDS.Len() == 0 || holdout.Len() == 0 {
 		return nil, GateResult{}, fmt.Errorf("online: degenerate holdout split (%d train / %d held out of %d)",

@@ -12,102 +12,172 @@ import (
 )
 
 // Client is a typed HTTP client for a quantserve instance, so tools
-// (cmd/quantpredict -server) can target a running service instead of
-// loading a framework file themselves.
+// (cmd/quantpredict -server, the fleet coordinator) can target a running
+// service instead of loading a framework file themselves. It speaks the
+// versioned /v1/ surface only.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	userAgent string
+	retries   int
+	retryGap  time.Duration
+}
+
+// ClientOption configures a Client at construction (NewClient).
+type ClientOption func(*Client)
+
+// WithTimeout bounds every HTTP round trip (default 30s). Zero or negative
+// means no timeout.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetry retries a request up to n extra times when the transport fails
+// or the server sheds it with 503 overloaded (not when it is shutting down —
+// a draining instance will not recover; route elsewhere instead). gap is the
+// pause between attempts; the server's retry-after hint is used instead when
+// it is shorter. Default is no retries.
+func WithRetry(n int, gap time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.retryGap = n, gap }
+}
+
+// WithUserAgent sets the User-Agent header on every request — how fleet
+// replicas distinguish coordinator traffic from direct clients in logs.
+func WithUserAgent(ua string) ClientOption {
+	return func(c *Client) { c.userAgent = ua }
 }
 
 // NewClient targets base (e.g. "http://localhost:8080"). A trailing slash
 // is tolerated.
-func NewClient(base string) *Client {
+func NewClient(base string, opts ...ClientOption) *Client {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+	c := &Client{
+		base:      base,
+		hc:        &http.Client{Timeout: 30 * time.Second},
+		userAgent: "quanterference-client/" + APIVersion,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
+// APIError is the client-side form of every non-200 the server returns: the
+// HTTP status, the server's error code (the code* constants behind
+// errorResponse.Code, empty for untyped failures), and the retry-after hint
+// on shed (503) responses. It unwraps to the matching server sentinel, so
+// errors.Is(err, ErrOverloaded / ErrShuttingDown / ErrBadInput /
+// ErrNoForecaster) works across the HTTP boundary.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code names the server-side sentinel ("overloaded", "shutting_down",
+	// "bad_input", "no_forecaster"); empty for untyped errors.
+	Code string
+	// RetryAfter is the server's suggested backoff before retrying; zero
+	// when the response carried no hint.
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *APIError) Error() string { return e.msg }
+
+// Unwrap maps the error code back to the server sentinel, so errors.Is
+// matches the same sentinels server-side callers use.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case codeOverloaded:
+		return ErrOverloaded
+	case codeShuttingDown:
+		return ErrShuttingDown
+	case codeBadInput:
+		return ErrBadInput
+	case codeNoForecaster:
+		return ErrNoForecaster
+	}
+	return nil
+}
+
+// retryable reports whether a failed attempt is worth repeating: transient
+// queue pressure is, a draining server or a caller mistake is not.
+func (e *APIError) retryable() bool { return e.Code == codeOverloaded }
+
+// v1 prefixes a route with the versioned mount point.
+func v1(path string) string { return "/" + APIVersion + path }
+
 func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
-	var buf bytes.Buffer
+	var payload []byte
 	if body != nil {
+		var buf bytes.Buffer
 		if err := json.NewEncoder(&buf).Encode(body); err != nil {
 			return err
 		}
+		payload = buf.Bytes()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.roundTrip(ctx, http.MethodPost, path, payload, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.roundTrip(ctx, http.MethodGet, path, nil, out)
+}
+
+// roundTrip sends one logical request, retrying per WithRetry. The payload
+// is kept as bytes so every attempt re-sends an identical body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte, out interface{}) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, method, path, payload, out)
+		if err == nil || attempt >= c.retries {
+			return err
+		}
+		apiErr, ok := err.(*APIError)
+		if ok && !apiErr.retryable() {
+			return err
+		}
+		gap := c.retryGap
+		if ok && apiErr.RetryAfter > 0 && apiErr.RetryAfter < gap {
+			gap = apiErr.RetryAfter
+		}
+		if gap > 0 {
+			select {
+			case <-time.After(gap):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, payload []byte, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
-}
-
-// OverloadedError is the client-side form of a 503 shed by the server's
-// backpressure (ErrOverloaded) or shutdown (ErrShuttingDown) path. It
-// unwraps to the matching server sentinel, so errors.Is(err, ErrOverloaded)
-// works across the HTTP boundary, and carries the server's retry-after hint.
-type OverloadedError struct {
-	// RetryAfter is the server's suggested backoff before retrying.
-	RetryAfter time.Duration
-	// ShuttingDown distinguishes a draining server (don't retry the same
-	// instance) from transient queue pressure (do retry).
-	ShuttingDown bool
-	msg          string
-}
-
-func (e *OverloadedError) Error() string { return e.msg }
-
-// Unwrap makes errors.Is match ErrOverloaded (or ErrShuttingDown when the
-// server was draining rather than shedding).
-func (e *OverloadedError) Unwrap() error {
-	if e.ShuttingDown {
-		return ErrShuttingDown
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	return ErrOverloaded
-}
-
-func (c *Client) do(req *http.Request, out interface{}) error {
+	req.Header.Set("User-Agent", c.userAgent)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode}
 		var e errorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			if resp.StatusCode == http.StatusServiceUnavailable &&
-				(e.Code == codeOverloaded || e.Code == codeShuttingDown) {
-				retry := time.Duration(e.RetryAfterSeconds * float64(time.Second))
-				if retry <= 0 {
-					retry = retryAfterSeconds * time.Second
-				}
-				return &OverloadedError{
-					RetryAfter:   retry,
-					ShuttingDown: e.Code == codeShuttingDown,
-					msg: fmt.Sprintf("serve: %s %s: %s (HTTP %d, retry after %v)",
-						req.Method, req.URL.Path, e.Error, resp.StatusCode, retry),
-				}
+			apiErr.Code = e.Code
+			apiErr.RetryAfter = time.Duration(e.RetryAfterSeconds * float64(time.Second))
+			if apiErr.RetryAfter <= 0 && resp.StatusCode == http.StatusServiceUnavailable {
+				apiErr.RetryAfter = retryAfterSeconds * time.Second
 			}
-			if e.Code == codeBadInput {
-				return fmt.Errorf("%w: %s %s: %s (HTTP %d)",
-					ErrBadInput, req.Method, req.URL.Path, e.Error, resp.StatusCode)
-			}
-			if e.Code == codeNoForecaster {
-				return fmt.Errorf("%w: %s %s: %s (HTTP %d)",
-					ErrNoForecaster, req.Method, req.URL.Path, e.Error, resp.StatusCode)
-			}
-			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, e.Error, resp.StatusCode)
+			apiErr.msg = fmt.Sprintf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			return apiErr
 		}
-		return fmt.Errorf("serve: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		apiErr.msg = fmt.Sprintf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -118,7 +188,7 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 // Predict classifies one raw window matrix on the server.
 func (c *Client) Predict(ctx context.Context, mat window.Matrix) (*PredictResponse, error) {
 	var out PredictResponse
-	if err := c.post(ctx, "/predict", PredictRequest{Matrix: mat}, &out); err != nil {
+	if err := c.post(ctx, v1("/predict"), PredictRequest{Matrix: mat}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -133,16 +203,17 @@ func (c *Client) Forecast(ctx context.Context, history []window.Matrix) (*Foreca
 		hist[i] = mat
 	}
 	var out ForecastResponse
-	if err := c.post(ctx, "/forecast", ForecastRequest{History: hist}, &out); err != nil {
+	if err := c.post(ctx, v1("/forecast"), ForecastRequest{History: hist}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Health fetches liveness and the loaded model's shape.
+// Health fetches liveness, the API version, the served weight digests, and
+// the loaded model's shape.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health
-	if err := c.get(ctx, "/healthz", &out); err != nil {
+	if err := c.get(ctx, v1("/healthz"), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -151,5 +222,5 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 // Reload asks the server to hot-swap its framework; an empty path reloads
 // the server's configured model file.
 func (c *Client) Reload(ctx context.Context, path string) error {
-	return c.post(ctx, "/admin/reload", reloadRequest{Path: path}, nil)
+	return c.post(ctx, v1("/admin/reload"), reloadRequest{Path: path}, nil)
 }

@@ -8,13 +8,18 @@ import (
 	"quanterference/internal/monitor/window"
 )
 
-// PredictRequest is the /predict request body: one raw (unscaled) window
+// APIVersion names the HTTP surface mounted under /v1/. Replicas advertise
+// it on /v1/healthz; the fleet coordinator refuses to route to replicas
+// whose version differs from the fleet's.
+const APIVersion = "v1"
+
+// PredictRequest is the /v1/predict request body: one raw (unscaled) window
 // matrix, [targets][features], exactly what core.Framework.Predict takes.
 type PredictRequest struct {
 	Matrix [][]float64 `json:"matrix"`
 }
 
-// PredictResponse is the /predict response body.
+// PredictResponse is the /v1/predict response body.
 type PredictResponse struct {
 	// Class is the predicted degradation class.
 	Class int `json:"class"`
@@ -22,16 +27,19 @@ type PredictResponse struct {
 	Label string `json:"label"`
 	// Probs is the class probability distribution.
 	Probs []float64 `json:"probs"`
+	// ModelDigest identifies the framework weights that answered
+	// (ml.WeightsDigest) — the consistency stamp the fleet layer checks.
+	ModelDigest string `json:"model_digest"`
 }
 
-// ForecastRequest is the /forecast request body: the last History raw window
-// matrices, oldest first — [windows][targets][features].
+// ForecastRequest is the /v1/forecast request body: the last History raw
+// window matrices, oldest first — [windows][targets][features].
 type ForecastRequest struct {
 	History [][][]float64 `json:"history"`
 }
 
-// ForecastResponse is the /forecast response body: one predicted class and
-// distribution per horizon, plus the derived time-to-degradation.
+// ForecastResponse is the /v1/forecast response body: one predicted class
+// and distribution per horizon, plus the derived time-to-degradation.
 type ForecastResponse struct {
 	// Horizons, Classes, Labels, and Probs are parallel: Classes[i] is the
 	// predicted slowdown class Horizons[i] windows ahead.
@@ -42,12 +50,23 @@ type ForecastResponse struct {
 	// LeadWindows is the smallest horizon predicting degradation (0 = none).
 	LeadWindows int  `json:"lead_windows"`
 	Degrading   bool `json:"degrading"`
+	// ModelDigest identifies the forecaster weights that answered.
+	ModelDigest string `json:"model_digest"`
 }
 
-// Health is the /healthz response body: liveness plus the loaded model's
-// shape, enough for a client to validate inputs and reconstruct label.Bins.
+// Health is the /v1/healthz response body: liveness, the API version, the
+// served weight digests, and the loaded model's shape — enough for a client
+// to validate inputs, reconstruct label.Bins, and for a fleet coordinator to
+// refuse mixed-version replicas.
 type Health struct {
 	Status string `json:"status"`
+	// APIVersion is the route version this replica speaks (serve.APIVersion).
+	APIVersion string `json:"api_version"`
+	// ModelDigest / ForecasterDigest identify the served weights
+	// (ml.WeightsDigest); ForecasterDigest is absent when forecasting is
+	// disabled.
+	ModelDigest      string `json:"model_digest"`
+	ForecasterDigest string `json:"forecaster_digest,omitempty"`
 	// Targets and Features describe the expected matrix shape (Targets 0
 	// means any row count).
 	Targets  int `json:"targets"`
@@ -56,7 +75,7 @@ type Health struct {
 	// Thresholds are the degradation bin edges (label.Bins.Thresholds).
 	Thresholds []float64 `json:"thresholds"`
 	// ForecastHistory and ForecastHorizons describe the loaded forecaster
-	// (/forecast input shape); both absent when forecasting is disabled.
+	// (/v1/forecast input shape); both absent when forecasting is disabled.
 	ForecastHistory  int   `json:"forecast_history,omitempty"`
 	ForecastHorizons []int `json:"forecast_horizons,omitempty"`
 }
@@ -91,21 +110,42 @@ type errorResponse struct {
 	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's versioned HTTP API:
 //
-//	POST /predict       {"matrix": [[...], ...]} -> PredictResponse
-//	POST /forecast      {"history": [[[...], ...], ...]} -> ForecastResponse
-//	GET  /healthz       -> Health
-//	GET  /stats         -> obs snapshot JSON (counters, batch histogram, latencies)
-//	POST /admin/reload  {"path": "..."} (optional body) -> {"reloaded": true}
+//	POST /v1/predict       {"matrix": [[...], ...]} -> PredictResponse
+//	POST /v1/forecast      {"history": [[[...], ...], ...]} -> ForecastResponse
+//	GET  /v1/healthz       -> Health
+//	GET  /v1/stats         -> obs snapshot JSON (counters, batch histogram, latencies)
+//	POST /v1/admin/reload  {"path": "..."} (optional body) -> {"reloaded": true}
+//
+// Every route is also mounted at its original unversioned path as a
+// deprecated shim for pre-v1 clients; shim responses carry a
+// "Deprecation: true" header and behave identically otherwise. New clients
+// (serve.Client included) speak /v1/ only.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/forecast", s.handleForecast)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/admin/reload", s.handleReload)
+	routes := map[string]http.HandlerFunc{
+		"/predict":      s.handlePredict,
+		"/forecast":     s.handleForecast,
+		"/healthz":      s.handleHealthz,
+		"/stats":        s.handleStats,
+		"/admin/reload": s.handleReload,
+	}
+	for path, h := range routes {
+		mux.HandleFunc("/"+APIVersion+path, h)
+		mux.HandleFunc(path, deprecatedShim(h))
+	}
 	return mux
+}
+
+// deprecatedShim marks an unversioned alias response as deprecated without
+// changing its behavior.
+func deprecatedShim(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</"+APIVersion+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // writeServeError maps a Predict/Forecast error to its HTTP status and typed
@@ -158,6 +198,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	fw := s.fw.Load()
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Class: class, Label: fw.Bins.Name(class), Probs: probs,
+		ModelDigest: s.ModelDigest(),
 	})
 }
 
@@ -192,6 +233,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		Probs:       pred.Probs,
 		LeadWindows: pred.LeadWindows,
 		Degrading:   pred.Degrading(),
+		ModelDigest: s.ForecasterDigest(),
 	})
 }
 
@@ -199,15 +241,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fw := s.fw.Load()
 	nTargets, nFeat := fw.Dims()
 	h := Health{
-		Status:     "ok",
-		Targets:    nTargets,
-		Features:   nFeat,
-		Classes:    fw.Classes(),
-		Thresholds: fw.Bins.Thresholds,
+		Status:      "ok",
+		APIVersion:  APIVersion,
+		ModelDigest: s.ModelDigest(),
+		Targets:     nTargets,
+		Features:    nFeat,
+		Classes:     fw.Classes(),
+		Thresholds:  fw.Bins.Thresholds,
 	}
 	if fc := s.fc.Load(); fc != nil {
 		h.ForecastHistory, _ = fc.Dims()
 		h.ForecastHorizons = fc.Horizons()
+		h.ForecasterDigest = s.ForecasterDigest()
 	}
 	writeJSON(w, http.StatusOK, h)
 }

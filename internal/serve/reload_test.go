@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -65,9 +66,9 @@ func TestReloadFrameworkPromotion(t *testing.T) {
 }
 
 // TestClientTypedErrors pins the client-side mapping of error bodies back to
-// the server sentinels: 503 overloaded and shutting_down become
-// OverloadedError (errors.Is-matching ErrOverloaded / ErrShuttingDown) with
-// the body's retry-after hint, and 400 bad_input matches ErrBadInput.
+// the server sentinels: every non-200 becomes one *APIError carrying the
+// status and server code, errors.Is-matching ErrOverloaded / ErrShuttingDown
+// / ErrBadInput, with the body's retry-after hint on 503s.
 func TestClientTypedErrors(t *testing.T) {
 	var body errorResponse
 	var status int
@@ -88,21 +89,22 @@ func TestClientTypedErrors(t *testing.T) {
 	if errors.Is(err, ErrShuttingDown) {
 		t.Fatal("overloaded 503 also matched ErrShuttingDown")
 	}
-	var oe *OverloadedError
-	if !errors.As(err, &oe) {
-		t.Fatalf("overloaded 503 = %T, want *OverloadedError", err)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("overloaded 503 = %T, want *APIError", err)
 	}
-	if oe.RetryAfter != 2500*time.Millisecond || oe.ShuttingDown {
-		t.Fatalf("OverloadedError = %+v, want RetryAfter 2.5s, not shutting down", oe)
+	if ae.Status != http.StatusServiceUnavailable || ae.Code != codeOverloaded ||
+		ae.RetryAfter != 2500*time.Millisecond {
+		t.Fatalf("APIError = %+v, want 503/overloaded with RetryAfter 2.5s", ae)
 	}
-	if !strings.Contains(oe.Error(), "queue full") {
-		t.Fatalf("error message lost the server detail: %q", oe.Error())
+	if !strings.Contains(ae.Error(), "queue full") {
+		t.Fatalf("error message lost the server detail: %q", ae.Error())
 	}
 
 	// No hint in the body: the client falls back to the protocol default.
 	body = errorResponse{Error: "queue full", Code: codeOverloaded}
 	_, err = c.Predict(ctx, mat)
-	if !errors.As(err, &oe) || oe.RetryAfter != retryAfterSeconds*time.Second {
+	if !errors.As(err, &ae) || ae.RetryAfter != retryAfterSeconds*time.Second {
 		t.Fatalf("default retry-after = %v, want %ds", err, retryAfterSeconds)
 	}
 
@@ -111,8 +113,8 @@ func TestClientTypedErrors(t *testing.T) {
 	if !errors.Is(err, ErrShuttingDown) || errors.Is(err, ErrOverloaded) {
 		t.Fatalf("shutting-down 503 = %v, want errors.Is ErrShuttingDown only", err)
 	}
-	if !errors.As(err, &oe) || !oe.ShuttingDown {
-		t.Fatalf("shutting-down 503 = %+v, want ShuttingDown set", err)
+	if !errors.As(err, &ae) || ae.Code != codeShuttingDown {
+		t.Fatalf("shutting-down 503 = %+v, want Code shutting_down", err)
 	}
 
 	status = http.StatusBadRequest
@@ -121,13 +123,80 @@ func TestClientTypedErrors(t *testing.T) {
 	if !errors.Is(err, ErrBadInput) {
 		t.Fatalf("bad-input 400 = %v, want errors.Is ErrBadInput", err)
 	}
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("bad-input 400 = %+v, want APIError with Status 400", err)
+	}
 
-	// Untyped failure bodies stay plain errors, no sentinel match.
+	// Untyped failure bodies stay APIErrors with the status, no sentinel
+	// match.
 	status = http.StatusInternalServerError
 	body = errorResponse{Error: "boom"}
 	_, err = c.Predict(ctx, mat)
 	if err == nil || errors.Is(err, ErrOverloaded) || errors.Is(err, ErrBadInput) {
-		t.Fatalf("untyped 500 = %v, want plain error", err)
+		t.Fatalf("untyped 500 = %v, want no sentinel match", err)
+	}
+	if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError || ae.Code != "" {
+		t.Fatalf("untyped 500 = %+v, want bare APIError{Status: 500}", err)
+	}
+}
+
+// TestClientRetry pins WithRetry: transient 503 overloaded sheds are
+// retried with the configured gap (bounded by the server hint), draining
+// servers are not.
+func TestClientRetry(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	var failures int
+	var code string
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= failures {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: "shed", Code: code, RetryAfterSeconds: 0.001})
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{Class: 1, Probs: []float64{0, 1}})
+	}))
+	defer stub.Close()
+	ctx := context.Background()
+	mat := window.Matrix{{1}}
+
+	// Two sheds, then success: three attempts fit in WithRetry(2, ...).
+	c := NewClient(stub.URL, WithRetry(2, time.Millisecond))
+	mu.Lock()
+	calls, failures, code = 0, 2, codeOverloaded
+	mu.Unlock()
+	resp, err := c.Predict(ctx, mat)
+	if err != nil || resp.Class != 1 {
+		t.Fatalf("retried predict = %+v, %v; want success after 2 sheds", resp, err)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+
+	// More sheds than retries: the final overloaded error surfaces.
+	mu.Lock()
+	calls, failures = 0, 5
+	mu.Unlock()
+	if _, err := c.Predict(ctx, mat); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries = %v, want ErrOverloaded", err)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", calls)
+	}
+
+	// Shutting down is not retryable: one attempt only.
+	mu.Lock()
+	calls, failures, code = 0, 5, codeShuttingDown
+	mu.Unlock()
+	if _, err := c.Predict(ctx, mat); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("draining server = %v, want ErrShuttingDown", err)
+	}
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry while draining)", calls)
 	}
 }
 
@@ -146,8 +215,8 @@ func TestClientShuttingDownEndToEnd(t *testing.T) {
 	if !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("predict after shutdown = %v, want errors.Is ErrShuttingDown", err)
 	}
-	var oe *OverloadedError
-	if !errors.As(err, &oe) || !oe.ShuttingDown || oe.RetryAfter <= 0 {
-		t.Fatalf("predict after shutdown = %+v, want ShuttingDown with retry hint", err)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != codeShuttingDown || ae.RetryAfter <= 0 {
+		t.Fatalf("predict after shutdown = %+v, want shutting_down APIError with retry hint", err)
 	}
 }

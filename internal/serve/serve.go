@@ -27,6 +27,7 @@ import (
 
 	"quanterference/internal/core"
 	"quanterference/internal/forecast"
+	"quanterference/internal/ml"
 	"quanterference/internal/monitor/window"
 	"quanterference/internal/obs"
 )
@@ -129,6 +130,15 @@ type Server struct {
 	queue  chan *request
 	fqueue chan *frequest
 
+	// fwDigest / fcDigest are the weight digests (ml.WeightsDigest) of the
+	// served framework / forecaster, recomputed on every swap and stamped on
+	// replies and /healthz so clients — and the fleet coordinator — can tell
+	// exactly which model version answered. Stored separately from the model
+	// pointers; each is updated before its pointer, so a reply can briefly
+	// carry the digest of the model that is about to serve, never a stale one.
+	fwDigest atomic.Pointer[string]
+	fcDigest atomic.Pointer[string]
+
 	gateMu   sync.RWMutex
 	stopping bool
 	inflight sync.WaitGroup
@@ -181,13 +191,40 @@ func New(fw *core.Framework, cfg Config) *Server {
 
 		batchMats: make([]window.Matrix, 0, cfg.MaxBatch),
 	}
-	s.fw.Store(fw)
+	s.setFramework(fw)
 	if cfg.Forecaster != nil {
-		s.fc.Store(cfg.Forecaster)
+		s.setForecaster(cfg.Forecaster)
 	}
 	go s.batcher()
 	go s.fbatcher()
 	return s
+}
+
+// setFramework stamps the digest, then publishes the pointer (digest first,
+// so a concurrent reader never pairs a new framework with an old digest).
+func (s *Server) setFramework(fw *core.Framework) {
+	d := ml.WeightsDigest(fw.ExportWeights())
+	s.fwDigest.Store(&d)
+	s.fw.Store(fw)
+}
+
+func (s *Server) setForecaster(f *forecast.Forecaster) {
+	d := ml.WeightsDigest(f.ExportWeights())
+	s.fcDigest.Store(&d)
+	s.fc.Store(f)
+}
+
+// ModelDigest returns the served framework's weight digest — the model
+// version identity stamped on every /v1/predict reply and /v1/healthz.
+func (s *Server) ModelDigest() string { return *s.fwDigest.Load() }
+
+// ForecasterDigest returns the served forecaster's weight digest, empty when
+// forecasting is disabled.
+func (s *Server) ForecasterDigest() string {
+	if d := s.fcDigest.Load(); d != nil {
+		return *d
+	}
+	return ""
 }
 
 // Framework returns the currently served framework (hot-reload aware).
@@ -331,7 +368,7 @@ func (s *Server) ReloadFramework(fw *core.Framework) error {
 		return fmt.Errorf("serve: reload shape %dx%d does not match served %dx%d",
 			newT, newF, oldT, oldF)
 	}
-	s.fw.Store(fw)
+	s.setFramework(fw)
 	s.mReloads.Inc()
 	return nil
 }
@@ -355,7 +392,7 @@ func (s *Server) ReloadForecaster(f *forecast.Forecaster) error {
 				newH, newF, oldH, oldF)
 		}
 	}
-	s.fc.Store(f)
+	s.setForecaster(f)
 	s.mReloads.Inc()
 	return nil
 }

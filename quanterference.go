@@ -39,8 +39,8 @@
 // Every entry point also has a context-aware form (RunCtx, CollectDatasetCtx,
 // TrainFrameworkCtx) that observes cancellation and deadlines, returning an
 // error matching both ErrCanceled and the context's own error. The original
-// panic-on-error entry points (Run, CollectDataset, TrainFramework) live in
-// legacy.go as deprecated thin wrappers for existing callers.
+// panic-on-error entry points (Run, CollectDataset, TrainFramework) have been
+// removed; use the error-returning forms above.
 //
 // A trained framework can also be served over HTTP with cmd/quantserve,
 // which batches concurrent predictions deterministically and hot-reloads
@@ -201,10 +201,8 @@ func ProfileByName(name string) (HardwareProfile, error) { return hw.ByName(name
 // Options
 //
 // The functional options below tune the error-returning and context-aware
-// entry points only — the deprecated panic entry points in legacy.go (Run,
-// CollectDataset, TrainFramework) accept none of them. Each option states
-// which entry points it applies to; an option passed to an entry point it
-// does not apply to is silently ignored.
+// entry points. Each option states which entry points it applies to; an
+// option passed to an entry point it does not apply to is silently ignored.
 //
 //	WithSink             RunE/Ctx, CollectDatasetE/Ctx — instrument on a shared sink
 //	WithHardware         RunE/Ctx, CollectDatasetE/Ctx — default hardware profile
