@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke trace clean
+.PHONY: build test tier1 verify bench bench-json docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke shadow-smoke trace clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ tier1: build test
 # pass re-runs the concurrency-critical packages uncached (par's fan-out,
 # obs's shared sink, fault's injection across parallel variant runs, online's
 # loop promoting through the live server under concurrent predictions).
-verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke
+verify: docs-check serve-smoke online-smoke profile-smoke forecast-smoke mitigate-smoke fleet-smoke shadow-smoke
 	$(GO) vet ./...
 	$(GO) test -race -timeout 30m ./...
-	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online ./internal/mitigate ./internal/fleet
+	$(GO) test -race -count=1 ./internal/par ./internal/obs ./internal/fault ./internal/ml ./internal/serve ./internal/online ./internal/mitigate ./internal/fleet ./internal/shadow
 
 bench:
 	$(GO) test -bench BenchmarkRun -benchmem -count 5 -run '^$$'
@@ -134,6 +134,29 @@ fleet-smoke:
 	@grep -q 'order-independent: ok' out/fleet-smoke/run1.txt || \
 		{ echo "fleet-smoke: merge order changed the corpus digest"; exit 1; }
 	@echo "fleet-smoke: OK"
+
+# shadow-smoke runs the shadow-evaluation episode twice and byte-compares
+# the outputs: one weak champion served by three replicas with a shared
+# mirror tap, three challengers scored on the mirrored live traffic, the
+# N-way gate promoting exactly the margin-winning challenger fleet-wide, and
+# a forced-reject drill epoch that keeps the new incumbent. Scores, digests,
+# and the routing timeline are all in the output, so any nondeterminism in
+# mirroring, scoring, or gating shows up as a byte diff.
+shadow-smoke:
+	@mkdir -p out/shadow-smoke
+	$(GO) run ./cmd/quantfleet -shadow > out/shadow-smoke/run1.txt
+	$(GO) run ./cmd/quantfleet -shadow > out/shadow-smoke/run2.txt
+	@cmp out/shadow-smoke/run1.txt out/shadow-smoke/run2.txt || \
+		{ echo "shadow-smoke: episode diverged between runs"; exit 1; }
+	@grep -q '^verdict: promote ' out/shadow-smoke/run1.txt || \
+		{ echo "shadow-smoke: no challenger was promoted"; exit 1; }
+	@grep -q '^shadow-promote ' out/shadow-smoke/run1.txt || \
+		{ echo "shadow-smoke: promotion missing from the timeline"; exit 1; }
+	@grep -q '^verdict: keep incumbent' out/shadow-smoke/run1.txt || \
+		{ echo "shadow-smoke: forced-reject drill did not keep the incumbent"; exit 1; }
+	@grep -q 'dropped 0 labeled 192 unmatched 0' out/shadow-smoke/run1.txt || \
+		{ echo "shadow-smoke: mirror shed or missed traffic"; exit 1; }
+	@echo "shadow-smoke: OK"
 
 # trace produces a sample Chrome trace-event file; open trace.json in
 # about:tracing or https://ui.perfetto.dev.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer|leadtime|mitigation]
+//	figures [-only table1|fig1a|fig1b|table2|fig3a|fig3b|fig4|fig5|ablation|transfer|leadtime|mitigation|shadow]
 //	        [-scale 1.0] [-epochs 60] [-seed 42] [-reps 0] [-out out/]
 //	        [-profiles paper,nvme,fastnic] [-pprof localhost:6060]
 //
@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer, leadtime, mitigation)")
+	only     = flag.String("only", "", "run a single experiment (table1, fig1a, fig1b, table2, fig3a, fig3b, fig4, fig5, ablation, extensions, casestudy, phases, robustness, transfer, leadtime, mitigation, shadow)")
 	scale    = flag.Float64("scale", 1.0, "workload volume scale factor")
 	epochs   = flag.Int("epochs", 60, "training epochs for model experiments")
 	seed     = flag.Int64("seed", 42, "root random seed")
@@ -87,7 +87,7 @@ func main() {
 		})
 	}
 	var io500ds *dataset.Dataset
-	if want("fig3a") || want("fig4") || want("ablation") || want("extensions") || want("robustness") {
+	if want("fig3a") || want("fig4") || want("ablation") || want("extensions") || want("robustness") || want("shadow") {
 		step("collecting IO500 dataset", func() {
 			io500ds = experiments.IO500Dataset(dcfg)
 			fmt.Printf("  %d samples, class balance %v\n", io500ds.Len(), io500ds.ClassCounts())
@@ -189,6 +189,17 @@ func main() {
 			if !r.ProactiveMatchesReactive() {
 				fmt.Println("  WARNING: proactive policy never matched reactive slowdown-avoided")
 			}
+		})
+	}
+	if want("shadow") {
+		step("Shadow: N-way champion/challenger gate on a live stream", func() {
+			r := experiments.ShadowStudy(io500ds, experiments.ShadowStudyConfig{Seed: *seed})
+			emit("shadow", r.Render(), r.CSV())
+			winner := r.Winner
+			if winner == "" {
+				winner = "champion (kept)"
+			}
+			fmt.Printf("  gate winner: %s\n", winner)
 		})
 	}
 	if want("extensions") {

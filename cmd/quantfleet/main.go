@@ -5,6 +5,7 @@
 // Usage:
 //
 //	quantfleet -smoke                      # deterministic 3-replica episode
+//	quantfleet -shadow                     # shadow-gated promotion episode
 //	quantfleet -status name=url [name=url ...]  # aggregate fleet /v1/healthz
 //
 // -smoke runs the full fleet episode in-process — three replicas over
@@ -16,13 +17,23 @@
 // the same seed are byte-identical; `make fleet-smoke` compares exactly
 // that.
 //
+// -shadow runs the shadow-evaluation episode: three replicas serve a weak
+// champion with one shared shadow evaluator tapped into every batcher, three
+// challengers are scored on the mirrored live traffic as delayed labels
+// arrive, and the N-way gate verdict drives fleet.PromoteShadowed — exactly
+// the margin-winning challenger rolls out fleet-wide. A second epoch under a
+// forced-reject margin (the rollback drill) keeps the new incumbent. Output
+// is digests and scores only; `make shadow-smoke` byte-compares two runs.
+//
 // -status treats each argument as name=url (bare URLs get r0, r1, ...
 // names), probes every replica's /v1/healthz, and prints the aggregated
-// fleet view.
+// fleet view, including each replica's last routing-failure cause when the
+// coordinator has seen one.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -35,13 +46,16 @@ import (
 	"quanterference/internal/fleet"
 	"quanterference/internal/ml"
 	"quanterference/internal/monitor/window"
+	"quanterference/internal/obs"
 	"quanterference/internal/online"
 	"quanterference/internal/serve"
+	shadowpkg "quanterference/internal/shadow"
 	"quanterference/internal/sim"
 )
 
 var (
 	smoke    = flag.Bool("smoke", false, "run the deterministic in-process 3-replica episode")
+	shadow   = flag.Bool("shadow", false, "run the deterministic shadow-gated promotion episode")
 	status   = flag.Bool("status", false, "aggregate /v1/healthz across the given name=url replicas")
 	seed     = flag.Int64("seed", 1, "seed for training, routing, and the episode's request stream")
 	requests = flag.Int("requests", 24, "requests to route during the smoke episode")
@@ -54,12 +68,16 @@ func main() {
 		if err := runSmoke(*seed, *requests); err != nil {
 			fatal(err)
 		}
+	case *shadow:
+		if err := runShadow(*seed); err != nil {
+			fatal(err)
+		}
 	case *status:
 		if err := runStatus(flag.Args()); err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "quantfleet: pass -smoke or -status (see -help)")
+		fmt.Fprintln(os.Stderr, "quantfleet: pass -smoke, -shadow, or -status (see -help)")
 		os.Exit(2)
 	}
 }
@@ -183,6 +201,223 @@ func runSmoke(seed int64, requests int) error {
 	}
 	fmt.Println("fleet-smoke: OK")
 	return nil
+}
+
+// Shadow episode sizing: enough labeled traffic per epoch to clear the
+// gate's minimum sample count with a determinate accuracy lead.
+const (
+	shadowRequests   = 96
+	shadowMinSamples = 32
+	shadowMargin     = 0.01
+)
+
+// runShadow is the shadow-evaluation episode: a weak champion serves a
+// 3-replica fleet while three challengers are scored on the mirrored live
+// traffic, and the gate verdict drives the fleet-wide rollout. A second
+// epoch under a forced-reject margin keeps the new incumbent.
+func runShadow(seed int64) error {
+	ctx := context.Background()
+	fmt.Printf("shadow-smoke: %d replicas, 3 challengers, seed %d\n", replicaCount, seed)
+
+	// Weak champion: one epoch on the shared corpus. Challengers train on the
+	// same corpus at different depths and seeds; the gate picks whichever
+	// actually wins on the live mirrored traffic.
+	corpus := shadowCorpus(seed)
+	champion := trainEpochs(corpus, seed, 1)
+	champDigest := ml.WeightsDigest(champion.ExportWeights())
+	fmt.Println("champion", champDigest)
+	challengers := []struct {
+		name   string
+		epochs int
+		fw     *core.Framework
+	}{
+		{name: "c0", epochs: 2},
+		{name: "c1", epochs: 8},
+		{name: "c2", epochs: 3},
+	}
+	cands := make(map[string]*core.Framework, len(challengers))
+	for i := range challengers {
+		c := &challengers[i]
+		c.fw = trainEpochs(corpus, seed+int64(i)+1, c.epochs)
+		cands[c.name] = c.fw
+		fmt.Printf("challenger %s epochs %d %s\n", c.name, c.epochs, ml.WeightsDigest(c.fw.ExportWeights()))
+	}
+
+	// One shared evaluator tapped into every replica's batcher, sharing one
+	// sink so the mirror counters surface on each replica's /v1/stats.
+	sink := obs.New()
+	ev, err := shadowpkg.New(champion, shadowpkg.Config{
+		Seed: seed, QueueCap: 4 * shadowRequests,
+		MinSamples: shadowMinSamples, Margin: shadowMargin, Sink: sink,
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range challengers {
+		if err := ev.AddChallenger(c.name, c.fw); err != nil {
+			return err
+		}
+	}
+
+	ep := &episode{master: champion}
+	replicas := make([]*fleet.Replica, replicaCount)
+	for i := 0; i < replicaCount; i++ {
+		fw, err := champion.Clone()
+		if err != nil {
+			return err
+		}
+		s := serve.New(fw, serve.Config{Shadow: ev, Sink: sink})
+		ts := httptest.NewServer(s.Handler())
+		name := fmt.Sprintf("r%d", i)
+		ep.servers = append(ep.servers, s)
+		ep.https = append(ep.https, ts)
+		ep.names = append(ep.names, name)
+		replicas[i] = fleet.NewReplica(name, s, serve.NewClient(ts.URL), nil)
+	}
+	defer func() {
+		for _, ts := range ep.https {
+			ts.Close()
+		}
+		for _, s := range ep.servers {
+			_ = s.Shutdown(context.Background())
+		}
+	}()
+	coord, err := fleet.New(fleet.Config{Seed: seed}, replicas...)
+	if err != nil {
+		return err
+	}
+
+	// Epoch 1: route labeled traffic through the fleet — every reply is
+	// mirrored by the answering replica's batcher — then join the delayed
+	// labels and read the verdict.
+	rng := sim.NewRNG(seed ^ 0x5ade)
+	if err := shadowEpochTraffic(ctx, coord, ev, rng, 0, shadowRequests); err != nil {
+		return err
+	}
+	printScoreboard(ev)
+
+	verdict := ev.Verdict()
+	if !verdict.Promote {
+		return fmt.Errorf("no challenger cleared the gate (champion %.4f, best %.4f); episode expects a winner",
+			verdict.IncumbentAccuracy, verdict.CandidateAccuracy)
+	}
+	fmt.Printf("verdict: promote %s (lead %.4f over champion %.4f, margin %.2f, n %d)\n",
+		verdict.Winner, verdict.CandidateAccuracy, verdict.IncumbentAccuracy, verdict.Margin, verdict.Holdout)
+	if err := coord.PromoteShadowed(ctx, verdict, cands); err != nil {
+		return fmt.Errorf("shadow-gated rollout: %w", err)
+	}
+	winDigest := ml.WeightsDigest(cands[verdict.Winner].ExportWeights())
+	for i, s := range ep.servers {
+		if got := s.ModelDigest(); got != winDigest {
+			return fmt.Errorf("replica %s serves %s after rollout, want winner %s", ep.names[i], got, winDigest)
+		}
+	}
+	fmt.Printf("promoted %s fleet-wide: %s\n", verdict.Winner, winDigest)
+
+	// Epoch 2: the winner is the new champion; fresh challengers are scored
+	// under a forced-reject margin (the drill), so the incumbent must hold.
+	if err := ev.Reset(cands[verdict.Winner]); err != nil {
+		return err
+	}
+	drill := trainEpochs(corpus, seed+10, 8)
+	if err := ev.AddChallenger("drill", drill); err != nil {
+		return err
+	}
+	ev.SetMargin(2) // impossible bar: force-reject every challenger
+	if err := shadowEpochTraffic(ctx, coord, ev, rng, shadowRequests, shadowRequests); err != nil {
+		return err
+	}
+	printScoreboard(ev)
+	drillVerdict := ev.Verdict()
+	if err := coord.PromoteShadowed(ctx, drillVerdict, map[string]*core.Framework{"drill": drill}); !errors.Is(err, fleet.ErrShadowRejected) {
+		return fmt.Errorf("forced-reject drill promoted anyway: %v", err)
+	}
+	fmt.Println("verdict: keep incumbent (forced-reject margin)")
+	for i, s := range ep.servers {
+		if got := s.ModelDigest(); got != winDigest {
+			return fmt.Errorf("replica %s serves %s after the drill, want incumbent %s", ep.names[i], got, winDigest)
+		}
+	}
+
+	fmt.Println("timeline:")
+	for _, e := range coord.Timeline() {
+		fmt.Println(e)
+	}
+	st := ev.Status()
+	fmt.Printf("mirrored %d dropped %d labeled %d unmatched %d\n", st.Mirrored, st.Dropped, st.Labeled, st.Unmatched)
+	if st.Dropped != 0 || st.Unmatched != 0 || coord.Dropped() != 0 {
+		return fmt.Errorf("episode shed traffic: %d mirror drops, %d unmatched labels, %d route drops",
+			st.Dropped, st.Unmatched, coord.Dropped())
+	}
+	fmt.Println("shadow-smoke: OK")
+	return nil
+}
+
+// shadowEpochTraffic routes n sequentially keyed requests through the fleet
+// and immediately joins each one's delayed label: even windows are healthy
+// (degradation 1), odd are degraded (degradation 3), matching the corpus.
+func shadowEpochTraffic(ctx context.Context, coord *fleet.Coordinator, ev *shadowpkg.Evaluator, rng *sim.RNG, base, n int) error {
+	for i := 0; i < n; i++ {
+		mat := make(window.Matrix, nTargets)
+		for t := range mat {
+			row := make([]float64, nFeat)
+			for f := range row {
+				row[f] = rng.NormFloat64() + 2*float64(i%2)
+			}
+			mat[t] = row
+		}
+		if _, err := coord.Predict(ctx, fmt.Sprintf("w%03d", base+i), mat); err != nil {
+			return fmt.Errorf("request %d dropped: %w", base+i, err)
+		}
+		if !ev.Label(mat, 1+2*float64(i%2)) {
+			return fmt.Errorf("request %d was answered but not mirrored", base+i)
+		}
+	}
+	return nil
+}
+
+// printScoreboard prints every candidate's live score, champion first, in
+// registration order — digest-free and deterministic for byte comparison.
+func printScoreboard(ev *shadowpkg.Evaluator) {
+	st := ev.Status()
+	fmt.Println("scoreboard:")
+	rows := append([]serve.ShadowCandidate{st.Champion}, st.Challengers...)
+	for _, r := range rows {
+		fmt.Printf("  %-8s acc %.4f ce %.4f n %d\n", r.Name, r.Accuracy, r.CE, r.Samples)
+	}
+}
+
+// shadowCorpus is the shared training corpus for the shadow episode's
+// champion and challengers (same distribution as smokeFramework's).
+func shadowCorpus(seed int64) *dataset.Dataset {
+	names := make([]string, nFeat)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%d", i)
+	}
+	ds := dataset.New(names, nTargets, 2)
+	rng := sim.NewRNG(seed)
+	for i := 0; i < 64; i++ {
+		vecs := make([][]float64, nTargets)
+		for t := range vecs {
+			v := make([]float64, nFeat)
+			for f := range v {
+				v[f] = rng.NormFloat64() + 2*float64(i%2)
+			}
+			vecs[t] = v
+		}
+		ds.Add(&dataset.Sample{Label: i % 2, Degradation: 1 + 2*float64(i%2), Vectors: vecs})
+	}
+	return ds
+}
+
+// trainEpochs trains one candidate at the given depth; panics on failure
+// like trainOn (the smoke corpus is known-good).
+func trainEpochs(ds *dataset.Dataset, seed int64, epochs int) *core.Framework {
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{Seed: seed, Train: ml.TrainConfig{Epochs: epochs}})
+	if err != nil {
+		panic(err)
+	}
+	return fw
 }
 
 func buildEpisode(seed int64) (*episode, error) {
@@ -326,12 +561,18 @@ func runStatus(args []string) error {
 	}
 	st := c.Status(context.Background())
 	for _, r := range st.Replicas {
+		// A one-shot probe has no routing history; LastFailure fills in when
+		// a long-lived coordinator (tests, embedded use) calls Status.
+		suffix := ""
+		if r.LastFailure != "" {
+			suffix = " last-failure " + r.LastFailure
+		}
 		if !r.Healthy {
-			fmt.Printf("%-12s DOWN (%s)\n", r.Name, r.Cause)
+			fmt.Printf("%-12s DOWN (%s)%s\n", r.Name, r.Cause, suffix)
 			continue
 		}
-		fmt.Printf("%-12s ok %s model %s %dx%d/%d classes\n", r.Name,
-			r.Health.APIVersion, r.Health.ModelDigest, r.Health.Targets, r.Health.Features, r.Health.Classes)
+		fmt.Printf("%-12s ok %s model %s %dx%d/%d classes%s\n", r.Name,
+			r.Health.APIVersion, r.Health.ModelDigest, r.Health.Targets, r.Health.Features, r.Health.Classes, suffix)
 	}
 	fmt.Printf("healthy %d/%d consistent %v\n", st.Healthy, len(st.Replicas), st.Consistent)
 	if !st.Consistent {

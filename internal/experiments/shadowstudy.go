@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quanterference/internal/core"
+	"quanterference/internal/dataset"
+	"quanterference/internal/ml"
+	"quanterference/internal/monitor/window"
+	"quanterference/internal/online"
+	"quanterference/internal/shadow"
+)
+
+// ShadowStudyConfig controls the shadow-evaluation study: how quickly the
+// N-way champion/challenger gate (internal/shadow) separates candidates of
+// different quality on a live labeled stream, and where the verdict lands.
+type ShadowStudyConfig struct {
+	// ChampionEpochs trains the serving champion (default 2 — deliberately
+	// undertrained, the model a fleet would want to replace).
+	ChampionEpochs int
+	// ChallengerEpochs trains one challenger per entry (default 4, 16, 8);
+	// challengers are named c0, c1, ... in this order.
+	ChallengerEpochs []int
+	// Snapshots is how many evenly spaced scoreboard snapshots to record
+	// over the stream (default 4); the last snapshot is the final state.
+	Snapshots int
+	// Margin and MinSamples are the gate's promotion bar (defaults 0.01, 32).
+	Margin     float64
+	MinSamples int
+	Seed       int64
+}
+
+func (c *ShadowStudyConfig) applyDefaults() {
+	if c.ChampionEpochs == 0 {
+		c.ChampionEpochs = 2
+	}
+	if len(c.ChallengerEpochs) == 0 {
+		c.ChallengerEpochs = []int{4, 16, 8}
+	}
+	if c.Snapshots == 0 {
+		c.Snapshots = 4
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.01
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 32
+	}
+}
+
+// ShadowStudyResult holds the convergence table and the final verdict.
+type ShadowStudyResult struct {
+	// Names are the candidates in column order: "champion" first, then the
+	// challengers; Epochs is each one's training depth and Digests its
+	// bit-exact weight identity (checkable against a live /v1/healthz).
+	Names   []string
+	Epochs  []int
+	Digests []string
+	// TrainSamples and StreamSamples split the corpus: candidates train on
+	// the former, the gate scores them on the latter.
+	TrainSamples  int
+	StreamSamples int
+	// SnapshotAt[i] is the labeled-sample count of snapshot i;
+	// Accuracy[i][j] is candidate j's cumulative live accuracy there.
+	SnapshotAt []int
+	Accuracy   [][]float64
+	// FinalCE is each candidate's mean cross-entropy at stream end.
+	FinalCE []float64
+	// Verdict is the gate's final decision; Winner is "" when the champion
+	// kept its seat.
+	Verdict online.GateResult
+	Winner  string
+}
+
+// ShadowStudy replays a labeled window stream through a shadow evaluator —
+// the study stands in for the serving layer, predicting the champion's class
+// for each window before mirroring it — and records how the scoreboard
+// separates candidates as labels accumulate. The stream is the held-out
+// quarter of the corpus (every 4th sample), so no candidate is scored on
+// traffic it trained on.
+func ShadowStudy(ds *dataset.Dataset, cfg ShadowStudyConfig) *ShadowStudyResult {
+	cfg.applyDefaults()
+
+	train := dataset.New(ds.FeatureNames, ds.NTargets, ds.Classes)
+	stream := dataset.New(ds.FeatureNames, ds.NTargets, ds.Classes)
+	for i, s := range ds.Samples {
+		if i%4 == 3 {
+			stream.Add(s)
+		} else {
+			train.Add(s)
+		}
+	}
+
+	res := &ShadowStudyResult{
+		Names:         []string{"champion"},
+		Epochs:        []int{cfg.ChampionEpochs},
+		TrainSamples:  train.Len(),
+		StreamSamples: stream.Len(),
+	}
+	champion := trainCandidate(train, cfg.Seed, cfg.ChampionEpochs)
+	res.Digests = []string{ml.WeightsDigest(champion.ExportWeights())}
+
+	ev, err := shadow.New(champion, shadow.Config{
+		Seed: cfg.Seed, QueueCap: stream.Len() + 1,
+		Margin: cfg.Margin, MinSamples: cfg.MinSamples,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: shadow evaluator: %v", err))
+	}
+	for i, epochs := range cfg.ChallengerEpochs {
+		name := fmt.Sprintf("c%d", i)
+		cand := trainCandidate(train, cfg.Seed+int64(i)+1, epochs)
+		if err := ev.AddChallenger(name, cand); err != nil {
+			panic(fmt.Sprintf("experiments: shadow challenger %s: %v", name, err))
+		}
+		res.Names = append(res.Names, name)
+		res.Epochs = append(res.Epochs, epochs)
+		res.Digests = append(res.Digests, ml.WeightsDigest(cand.ExportWeights()))
+	}
+
+	// Stream the held-out windows: serve (predict), mirror, then join the
+	// label — the same order the live tap sees. Snapshot the scoreboard at
+	// evenly spaced labeled counts.
+	snapEvery := stream.Len() / cfg.Snapshots
+	if snapEvery == 0 {
+		snapEvery = 1
+	}
+	for i, s := range stream.Samples {
+		mat := window.Matrix(s.Vectors)
+		cls, _ := champion.Predict(mat)
+		ev.Mirror(mat, cls)
+		if !ev.Label(mat, s.Degradation) {
+			panic(fmt.Sprintf("experiments: stream sample %d not joinable", i))
+		}
+		if (i+1)%snapEvery == 0 || i == stream.Len()-1 {
+			st := ev.Status()
+			if n := len(res.SnapshotAt); n > 0 && res.SnapshotAt[n-1] == int(st.Labeled) {
+				continue // final sample landed exactly on a snapshot boundary
+			}
+			res.SnapshotAt = append(res.SnapshotAt, int(st.Labeled))
+			row := []float64{st.Champion.Accuracy}
+			for _, c := range st.Challengers {
+				row = append(row, c.Accuracy)
+			}
+			res.Accuracy = append(res.Accuracy, row)
+		}
+	}
+
+	st := ev.Status()
+	res.FinalCE = []float64{st.Champion.CE}
+	for _, c := range st.Challengers {
+		res.FinalCE = append(res.FinalCE, c.CE)
+	}
+	res.Verdict = ev.Verdict()
+	res.Winner = res.Verdict.Winner
+	return res
+}
+
+// trainCandidate trains one candidate at the given depth on the train split.
+func trainCandidate(ds *dataset.Dataset, seed int64, epochs int) *core.Framework {
+	fw, _, err := core.TrainFrameworkE(ds, core.FrameworkConfig{
+		Seed:  seed,
+		Train: ml.TrainConfig{Epochs: epochs, Seed: seed},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: shadow candidate: %v", err))
+	}
+	return fw
+}
+
+// Render draws the convergence table — one row per snapshot, one column per
+// candidate — and the final verdict.
+func (r *ShadowStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shadow evaluation: %d candidates on %d live windows (%d train)\n",
+		len(r.Names), r.StreamSamples, r.TrainSamples)
+	for i, name := range r.Names {
+		fmt.Fprintf(&b, "  %-9s epochs %-3d %s\n", name, r.Epochs[i], r.Digests[i])
+	}
+	fmt.Fprintf(&b, "%-10s", "labeled")
+	for _, name := range r.Names {
+		fmt.Fprintf(&b, "%10s", name)
+	}
+	b.WriteString("\n")
+	for i, at := range r.SnapshotAt {
+		fmt.Fprintf(&b, "%-10d", at)
+		for _, a := range r.Accuracy[i] {
+			fmt.Fprintf(&b, "%10.3f", a)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-10s", "final-ce")
+	for _, ce := range r.FinalCE {
+		fmt.Fprintf(&b, "%10.3f", ce)
+	}
+	b.WriteString("\n")
+	if r.Verdict.Promote {
+		fmt.Fprintf(&b, "verdict: promote %s (%.3f vs champion %.3f, margin %.3f, n %d)\n",
+			r.Winner, r.Verdict.CandidateAccuracy, r.Verdict.IncumbentAccuracy,
+			r.Verdict.Margin, r.Verdict.Holdout)
+	} else {
+		fmt.Fprintf(&b, "verdict: keep champion (best challenger %.3f vs %.3f, margin %.3f)\n",
+			r.Verdict.CandidateAccuracy, r.Verdict.IncumbentAccuracy, r.Verdict.Margin)
+	}
+	return b.String()
+}
+
+// CSV emits one row per (snapshot, candidate) point, then one digest row per
+// candidate and a final verdict row.
+func (r *ShadowStudyResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("labeled,candidate,epochs,accuracy\n")
+	for i, at := range r.SnapshotAt {
+		for j, name := range r.Names {
+			fmt.Fprintf(&b, "%d,%s,%d,%.4f\n", at, name, r.Epochs[j], r.Accuracy[i][j])
+		}
+	}
+	for j, name := range r.Names {
+		fmt.Fprintf(&b, "digest,%s,%d,%s\n", name, r.Epochs[j], r.Digests[j])
+	}
+	winner := r.Winner
+	if winner == "" {
+		winner = "champion"
+	}
+	fmt.Fprintf(&b, "verdict,%s,%t,%.4f\n", winner, r.Verdict.Promote, r.Verdict.CandidateAccuracy)
+	return b.String()
+}

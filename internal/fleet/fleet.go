@@ -87,6 +87,11 @@ var (
 
 	// ErrUnknownReplica reports a Rebind naming no registered replica.
 	ErrUnknownReplica = errors.New("fleet: unknown replica")
+
+	// ErrShadowRejected reports a shadow verdict that kept the incumbent:
+	// no challenger cleared the margin over the champion at the required
+	// sample count, so nothing was rolled out.
+	ErrShadowRejected = errors.New("fleet: shadow gate kept the incumbent")
 )
 
 // Admin is the control-plane surface of one replica — the in-process handle
@@ -144,6 +149,7 @@ type Coordinator struct {
 	timeline []string
 	accepted int
 	dropped  int
+	lastFail map[string]string
 
 	promoteMu sync.Mutex
 }
@@ -161,7 +167,7 @@ func New(cfg Config, replicas ...*Replica) (*Coordinator, error) {
 		}
 		seen[r.name] = true
 	}
-	return &Coordinator{seed: cfg.Seed, replicas: replicas}, nil
+	return &Coordinator{seed: cfg.Seed, replicas: replicas, lastFail: make(map[string]string)}, nil
 }
 
 // Replicas returns the registered replica names in registration order.
@@ -217,6 +223,15 @@ func (c *Coordinator) Dropped() int  { c.mu.Lock(); defer c.mu.Unlock(); return 
 func (c *Coordinator) event(format string, args ...interface{}) {
 	c.mu.Lock()
 	c.timeline = append(c.timeline, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// noteFail remembers the most recent routing-failure cause per replica, so
+// Status can answer "why did r1 lose its turn" long after the retry line
+// scrolled off the timeline. Sticky: a later success does not erase it.
+func (c *Coordinator) noteFail(name, label string) {
+	c.mu.Lock()
+	c.lastFail[name] = label
 	c.mu.Unlock()
 }
 
@@ -304,6 +319,7 @@ func (c *Coordinator) Predict(ctx context.Context, key string, mat window.Matrix
 			return nil, err
 		}
 		c.event("retry %s %s %s", key, r.name, cause(err))
+		c.noteFail(r.name, cause(err))
 		errs = append(errs, fmt.Errorf("%s: %w", r.name, err))
 	}
 	c.event("drop %s", key)
@@ -330,6 +346,7 @@ func (c *Coordinator) Forecast(ctx context.Context, key string, history []window
 			return nil, err
 		}
 		c.event("retry %s %s %s", key, r.name, cause(err))
+		c.noteFail(r.name, cause(err))
 		errs = append(errs, fmt.Errorf("%s: %w", r.name, err))
 	}
 	c.event("drop %s", key)
@@ -346,6 +363,12 @@ type ReplicaStatus struct {
 	// Cause is the failure label when unhealthy ("unreachable", "draining",
 	// "http-500", ...), empty when healthy.
 	Cause string
+	// LastFailure is the most recent routing-failure cause this coordinator
+	// recorded for the replica (the label from its last "retry" timeline
+	// event). Sticky across later successes — a healthy replica with a
+	// LastFailure was degraded at some point this run — and empty when the
+	// replica never lost a turn.
+	LastFailure string
 	// Health is the replica's /v1/healthz advertisement, nil when unhealthy.
 	Health *serve.Health
 }
@@ -376,16 +399,19 @@ type Status struct {
 func (c *Coordinator) Status(ctx context.Context) Status {
 	var st Status
 	for _, r := range c.snapshot() {
+		c.mu.Lock()
+		lastFail := c.lastFail[r.name]
+		c.mu.Unlock()
 		h, err := r.client.Health(ctx)
 		if err != nil {
-			st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Cause: cause(err)})
+			st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Cause: cause(err), LastFailure: lastFail})
 			continue
 		}
 		if h.Status != "ok" {
-			st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Cause: "status-" + h.Status, Health: h})
+			st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Cause: "status-" + h.Status, LastFailure: lastFail, Health: h})
 			continue
 		}
-		st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Healthy: true, Health: h})
+		st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.name, Healthy: true, LastFailure: lastFail, Health: h})
 		if st.Healthy == 0 {
 			st.Consistent = true
 			st.APIVersion = h.APIVersion
@@ -509,6 +535,32 @@ func (c *Coordinator) rollback(done []promoted) {
 		// cannot be unloaded, so the first load is sticky.
 		c.event("rollback %s none", d.r.name)
 	}
+}
+
+// PromoteShadowed turns a shadow-gate verdict (online.EvaluateShadowGate,
+// typically via a shadow.Evaluator's Verdict) into a fleet action: when the
+// gate promoted a winner, the matching candidate framework rolls out through
+// Promote — same preflight, rolling order, and reverse rollback — and when
+// the gate kept the champion, nothing is touched and ErrShadowRejected is
+// returned so callers can tell "gate said no" from "rollout broke". The
+// decision lands on the timeline either way ("shadow-promote <winner>" /
+// "shadow-keep incumbent"), keeping same-seed episodes byte-comparable.
+// candidates maps challenger names (as registered with the evaluator) to the
+// frameworks that would roll out; a winning name missing from the map is a
+// wiring error, reported before any replica is touched.
+func (c *Coordinator) PromoteShadowed(ctx context.Context, verdict online.GateResult, candidates map[string]*core.Framework) error {
+	if !verdict.Promote || verdict.Winner == "" {
+		c.event("shadow-keep incumbent")
+		return fmt.Errorf("%w (margin %.4g, best challenger %.4f vs champion %.4f on %d sample(s))",
+			ErrShadowRejected, verdict.Margin, verdict.CandidateAccuracy, verdict.IncumbentAccuracy, verdict.Holdout)
+	}
+	cand, ok := candidates[verdict.Winner]
+	if !ok || cand == nil {
+		c.event("shadow-promote-failed %s unknown-candidate", verdict.Winner)
+		return fmt.Errorf("fleet: shadow winner %q has no candidate framework", verdict.Winner)
+	}
+	c.event("shadow-promote %s", verdict.Winner)
+	return c.Promote(ctx, cand)
 }
 
 // PromoteForecaster rolls a candidate forecaster across the fleet with the

@@ -537,6 +537,130 @@ func TestPromoteForecaster(t *testing.T) {
 	}
 }
 
+// TestStatusLastFailure pins the degraded-replica diagnosis: a replica that
+// lost routing turns carries its last failure cause in Status, and the label
+// sticks through a restart under the same name — the answer to "why is r1
+// degraded" survives the replica coming back.
+func TestStatusLastFailure(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 17)
+	rng := sim.NewRNG(4)
+
+	f.https[1].Close()
+	for i := 0; i < 12; i++ {
+		if _, err := f.c.Predict(ctx, fmt.Sprintf("w%02d", i), testMatrix(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.c.Status(ctx)
+	if st.Replicas[1].LastFailure != "unreachable" {
+		t.Fatalf("killed replica LastFailure = %q, want unreachable (status %+v)", st.Replicas[1].LastFailure, st.Replicas[1])
+	}
+	for _, i := range []int{0, 2} {
+		if st.Replicas[i].LastFailure != "" {
+			t.Fatalf("healthy replica %s carries LastFailure %q", st.Replicas[i].Name, st.Replicas[i].LastFailure)
+		}
+	}
+
+	// "Restart" r1 under the same name: healthy again, but the last failure
+	// cause is sticky — the degradation stays diagnosable after recovery.
+	fw, err := f.servers[1].Framework().Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(fw, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	if err := f.c.Rebind("r1", s, serve.NewClient(ts.URL), nil); err != nil {
+		t.Fatal(err)
+	}
+	st = f.c.Status(ctx)
+	if !st.Replicas[1].Healthy || st.Replicas[1].LastFailure != "unreachable" {
+		t.Fatalf("restarted replica = %+v, want healthy with sticky LastFailure", st.Replicas[1])
+	}
+}
+
+// TestPromoteShadowed pins the shadow-gated rollout: a promoting verdict
+// rolls exactly the winning candidate fleet-wide, a kept-champion verdict
+// touches nothing and reports ErrShadowRejected, and a winner missing from
+// the candidate map is a wiring error caught before any replica changes.
+func TestPromoteShadowed(t *testing.T) {
+	ctx := context.Background()
+	f := newTestFleet(t, 3, 61)
+	incDigest := f.servers[0].ModelDigest()
+
+	winner := trainedFramework(t, 62)
+	loser := trainedFramework(t, 63)
+	winDigest := ml.WeightsDigest(winner.ExportWeights())
+	cands := map[string]*core.Framework{"c-win": winner, "c-lose": loser}
+
+	// Kept-champion verdict: nothing rolls out.
+	kept := online.EvaluateShadowGate(61,
+		online.CandidateScore{Name: "champion", Accuracy: 0.9, Samples: 64},
+		[]online.CandidateScore{{Name: "c-win", Accuracy: 0.9, Samples: 64}},
+		0.05, 32)
+	if err := f.c.PromoteShadowed(ctx, kept, cands); !errors.Is(err, ErrShadowRejected) {
+		t.Fatalf("kept-champion verdict = %v, want ErrShadowRejected", err)
+	}
+	for i, s := range f.servers {
+		if s.ModelDigest() != incDigest {
+			t.Fatalf("replica r%d changed digest on a rejected verdict", i)
+		}
+	}
+	tl := f.c.Timeline()
+	if tl[len(tl)-1] != "shadow-keep incumbent" {
+		t.Fatalf("timeline tail %q, want shadow-keep incumbent", tl[len(tl)-1])
+	}
+
+	// Winner not in the candidate map: error before any replica is touched.
+	ghost := online.EvaluateShadowGate(61,
+		online.CandidateScore{Name: "champion", Accuracy: 0.5, Samples: 64},
+		[]online.CandidateScore{{Name: "ghost", Accuracy: 0.9, Samples: 64}},
+		0.05, 32)
+	if err := f.c.PromoteShadowed(ctx, ghost, cands); err == nil || errors.Is(err, ErrShadowRejected) {
+		t.Fatalf("unknown winner = %v, want a wiring error", err)
+	}
+	for i, s := range f.servers {
+		if s.ModelDigest() != incDigest {
+			t.Fatalf("replica r%d changed digest on an unknown winner", i)
+		}
+	}
+
+	// Promoting verdict: exactly the winner rolls out fleet-wide.
+	promote := online.EvaluateShadowGate(61,
+		online.CandidateScore{Name: "champion", Accuracy: 0.5, Samples: 64},
+		[]online.CandidateScore{
+			{Name: "c-lose", Accuracy: 0.6, Samples: 64},
+			{Name: "c-win", Accuracy: 0.9, Samples: 64},
+		}, 0.05, 32)
+	if promote.Winner != "c-win" {
+		t.Fatalf("gate picked %q, want c-win", promote.Winner)
+	}
+	if err := f.c.PromoteShadowed(ctx, promote, cands); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range f.servers {
+		if got := s.ModelDigest(); got != winDigest {
+			t.Fatalf("replica r%d serves %s, want winner %s", i, got, winDigest)
+		}
+	}
+	tl = f.c.Timeline()
+	want := []string{
+		"shadow-promote c-win",
+		"promote r0 " + winDigest,
+		"promote r1 " + winDigest,
+		"promote r2 " + winDigest,
+	}
+	if len(tl) < len(want) {
+		t.Fatalf("timeline too short: %q", tl)
+	}
+	for i, w := range want {
+		if got := tl[len(tl)-len(want)+i]; got != w {
+			t.Fatalf("timeline[%d] = %q, want %q (full: %q)", i, got, w, tl)
+		}
+	}
+}
+
 // TestConcurrentRoutingDuringPromotion exercises the coordinator under
 // -race: many goroutines predict through the fleet while a promotion and
 // status probes run. Every request must land (no drops — replicas stay

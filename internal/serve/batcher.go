@@ -101,6 +101,13 @@ func (s *Server) runBatch(batch []*request) {
 	s.hBatch.Observe(float64(len(batch)))
 
 	for i, req := range batch {
+		// Mirror before answering: one non-blocking channel send (or a
+		// counted drop), so a received reply guarantees the shadow evaluator
+		// can already see the event — the happens-before edge the shadow
+		// determinism suite leans on — while the champion path never waits.
+		if s.cfg.Shadow != nil {
+			s.cfg.Shadow.Mirror(req.mat, cls[i])
+		}
 		// Copy out: the framework reuses its probability rows on the next
 		// batch, but the caller's slice must stay valid indefinitely.
 		req.resp <- response{class: cls[i], probs: append([]float64(nil), probs[i]...)}

@@ -96,6 +96,8 @@ func (e *APIError) Unwrap() error {
 		return ErrBadInput
 	case codeNoForecaster:
 		return ErrNoForecaster
+	case codeNoShadow:
+		return ErrNoShadow
 	}
 	return nil
 }
@@ -204,6 +206,18 @@ func (c *Client) Forecast(ctx context.Context, history []window.Matrix) (*Foreca
 	}
 	var out ForecastResponse
 	if err := c.post(ctx, v1("/forecast"), ForecastRequest{History: hist}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShadowStatus fetches the server's shadow-evaluation scoreboard: the
+// champion's and every challenger's live accuracy/CE plus the mirror
+// plumbing counters. Servers without a shadow evaluator return an error
+// matching ErrNoShadow.
+func (c *Client) ShadowStatus(ctx context.Context) (*ShadowStatus, error) {
+	var out ShadowStatus
+	if err := c.get(ctx, v1("/shadow"), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

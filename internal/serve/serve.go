@@ -49,6 +49,10 @@ var (
 	// ErrNoForecaster reports a Forecast call on a server that has no
 	// forecaster loaded (Config.Forecaster nil and no ReloadForecaster yet).
 	ErrNoForecaster = errors.New("serve: no forecaster loaded")
+
+	// ErrNoShadow reports a /v1/shadow request on a server that mirrors no
+	// traffic (Config.Shadow nil).
+	ErrNoShadow = errors.New("serve: no shadow evaluator attached")
 )
 
 // Config tunes the batching service. The zero value is usable: every field
@@ -73,6 +77,14 @@ type Config struct {
 	// ErrNoForecaster) until ReloadForecaster loads one. Like the framework,
 	// ownership transfers to the server.
 	Forecaster *forecast.Forecaster
+	// Shadow optionally mirrors every answered prediction into a shadow
+	// evaluator (*shadow.Evaluator in practice): the batcher taps Mirror —
+	// one non-blocking channel send — right before it answers each request,
+	// so challengers are scored on exactly the traffic the champion served
+	// while the champion's latency and allocations stay untouched. Nil
+	// disables mirroring; /v1/shadow then returns ErrNoShadow. Construct the
+	// evaluator with this same Sink to surface its counters on /v1/stats.
+	Shadow ShadowEvaluator
 	// Sink receives serving metrics (request/error/reload counters, the
 	// batch-size histogram, per-stage latency histograms). Nil allocates a
 	// private sink so Stats always works.
@@ -153,6 +165,7 @@ type Server struct {
 	mReloads   *obs.Counter
 	mBatches   *obs.Counter
 	gInflight  *obs.Gauge
+	gFInflight *obs.Gauge
 	hBatch     *obs.Histogram
 	hFBatch    *obs.Histogram
 	hQueueNS   *obs.Histogram
@@ -183,6 +196,7 @@ func New(fw *core.Framework, cfg Config) *Server {
 		mReloads:   cfg.Sink.Counter("serve", "", "reloads"),
 		mBatches:   cfg.Sink.Counter("serve", "", "batches"),
 		gInflight:  cfg.Sink.Gauge("serve", "", "queue_depth"),
+		gFInflight: cfg.Sink.Gauge("serve", "", "forecast_queue_depth"),
 		hBatch:     cfg.Sink.Histogram("serve", "", "batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
 		hFBatch:    cfg.Sink.Histogram("serve", "", "forecast_batch_size", obs.LinearBuckets(1, 1, cfg.MaxBatch)),
 		hQueueNS:   cfg.Sink.Histogram("serve", "", "queue_wait_ns", obs.TimeBuckets()),
@@ -233,6 +247,10 @@ func (s *Server) Framework() *core.Framework { return s.fw.Load() }
 // Forecaster returns the currently served forecaster, nil when forecasting
 // is not enabled.
 func (s *Server) Forecaster() *forecast.Forecaster { return s.fc.Load() }
+
+// Shadow returns the attached shadow evaluator, nil when the server mirrors
+// no traffic.
+func (s *Server) Shadow() ShadowEvaluator { return s.cfg.Shadow }
 
 // Stats snapshots the serving metrics.
 func (s *Server) Stats() *obs.Snapshot { return s.cfg.Sink.Snapshot() }
@@ -311,6 +329,7 @@ func (s *Server) Forecast(ctx context.Context, history []window.Matrix) (*foreca
 	req := &frequest{hist: history, resp: make(chan fresponse, 1), enq: start}
 	select {
 	case s.fqueue <- req:
+		s.gFInflight.Set(float64(len(s.fqueue)))
 	default:
 		s.mErrors.Inc()
 		return nil, fmt.Errorf("%w: forecast queue full (%d)", ErrOverloaded, s.cfg.MaxInflight)
